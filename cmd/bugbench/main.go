@@ -1,0 +1,72 @@
+// Command bugbench reproduces the paper's §4.1 evaluation: it runs the
+// 68-bug corpus under Safe Sulong, ASan (-O0/-O3), Valgrind (-O0/-O3), and
+// the bare native machine, then prints Tables 1 and 2, the tool comparison,
+// and the list of bugs only Safe Sulong finds.
+//
+// Usage:
+//
+//	bugbench                 # full detection matrix
+//	bugbench -casestudies    # only the Figs. 10-14 case studies
+//	bugbench -case NAME      # one corpus case, all tools, with reports
+//	bugbench -list           # corpus inventory with ground truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+func main() {
+	caseStudies := flag.Bool("casestudies", false, "run only the paper's case studies (Figs. 10-14)")
+	oneCase := flag.String("case", "", "run a single corpus case by name")
+	list := flag.Bool("list", false, "list corpus cases with ground truth")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, c := range corpus.All() {
+			extra := ""
+			if c.ASanBlindSpot {
+				extra = "  [missed by ASan+Valgrind]"
+			}
+			if c.OptimizedAwayAtO3 {
+				extra += "  [deleted at -O3]"
+			}
+			fmt.Printf("%-28s %-16s %-5s %-9s %-9s%s\n",
+				c.Name, c.Category, c.Access, c.Direction, c.Mem, extra)
+		}
+	case *caseStudies:
+		fmt.Print(harness.CaseStudies())
+	case *oneCase != "":
+		found := false
+		for _, c := range corpus.All() {
+			if c.Name != *oneCase {
+				continue
+			}
+			found = true
+			fmt.Printf("case %s (%s, %s %s, %s memory)\n\n%s\n\n",
+				c.Name, c.Category, c.Access, c.Direction, c.Mem, c.Source)
+			for _, tool := range harness.Tools() {
+				cell := harness.RunCase(c, tool)
+				status := "missed"
+				if cell.Detected {
+					status = "DETECTED"
+				} else if cell.Crashed {
+					status = "crashed"
+				}
+				fmt.Printf("  %-14s %-9s %s\n", tool, status, cell.Report)
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "bugbench: no case %q (try -list)\n", *oneCase)
+			os.Exit(2)
+		}
+	default:
+		m := harness.RunDetectionMatrix()
+		fmt.Print(m.Render())
+	}
+}

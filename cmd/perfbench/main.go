@@ -1,0 +1,111 @@
+// Command perfbench reproduces the paper's performance evaluation:
+// §4.2 start-up and warm-up (Fig. 15) and §4.3 peak performance (Fig. 16).
+//
+// Usage:
+//
+//	perfbench -startup                 # hello-world start-up per tool
+//	perfbench -warmup [-bench meteor]  # Fig. 15 iterations/s over time
+//	perfbench -peak [-bench all]       # Fig. 16 relative execution times
+//	perfbench -peak -warmups 50 -samples 10 -full   # paper-sized runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchprog"
+	"repro/internal/harness"
+)
+
+func main() {
+	startup := flag.Bool("startup", false, "measure start-up time (§4.2)")
+	warmup := flag.Bool("warmup", false, "measure warm-up behaviour (Fig. 15)")
+	peak := flag.Bool("peak", false, "measure peak performance (Fig. 16)")
+	benchName := flag.String("bench", "", "benchmark name (default: meteor for -warmup, all for -peak)")
+	warmups := flag.Int("warmups", 10, "in-process warm-up iterations before sampling")
+	samples := flag.Int("samples", 5, "timed iterations per configuration")
+	seconds := flag.Float64("seconds", 10, "wall-clock duration of the warm-up experiment")
+	full := flag.Bool("full", false, "use the paper-sized workloads (slower)")
+	flag.Parse()
+
+	if !*startup && !*warmup && !*peak {
+		fmt.Fprintln(os.Stderr, "usage: perfbench -startup | -warmup | -peak [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if *startup {
+		results, err := harness.MeasureStartup(10)
+		check(err)
+		fmt.Println("Start-up time, hello world (average of 10 runs):")
+		for _, r := range results {
+			fmt.Printf("  %-14v %v\n", r.Tool, r.Time)
+		}
+	}
+
+	if *warmup {
+		name := *benchName
+		if name == "" {
+			name = "meteor"
+		}
+		b, err := benchprog.Get(name)
+		check(err)
+		arg := b.SmallArg
+		if *full {
+			arg = b.DefaultArg
+		}
+		fmt.Printf("Warm-up on %s (arg %s), %gs window, 1s buckets (Fig. 15):\n", name, arg, *seconds)
+		cfgs := []harness.PerfConfig{harness.SafeSulongPerf, harness.ASanPerf, harness.ValgrindPerf}
+		out, err := harness.MeasureWarmup(b, arg, time.Duration(*seconds*float64(time.Second)), time.Second, cfgs)
+		check(err)
+		for _, cfg := range cfgs {
+			fmt.Printf("  %v:\n", cfg)
+			for _, s := range out[cfg] {
+				marker := ""
+				if cfg == harness.SafeSulongPerf {
+					marker = fmt.Sprintf("  (compiled ASTs: %d)", s.Compiled)
+				}
+				fmt.Printf("    second %2d: %4d iterations%s\n", s.Bucket+1, s.Iterations, marker)
+			}
+		}
+	}
+
+	if *peak {
+		var benches []benchprog.Benchmark
+		if *benchName == "" || *benchName == "all" {
+			benches = benchprog.All()
+		} else {
+			b, err := benchprog.Get(*benchName)
+			check(err)
+			benches = []benchprog.Benchmark{b}
+		}
+		fmt.Printf("Peak performance relative to Clang -O0 (Fig. 16), %d warm-ups, %d samples:\n",
+			*warmups, *samples)
+		var rows []harness.PeakResult
+		for _, b := range benches {
+			arg := b.SmallArg
+			if *full {
+				arg = b.DefaultArg
+			}
+			row, err := harness.MeasurePeak(b, arg, *warmups, *samples, harness.PerfConfigs())
+			check(err)
+			rows = append(rows, row)
+			note := ""
+			if b.AllocHeavy {
+				note = "   <- allocation-intensive (§4.3's binarytrees discussion)"
+			}
+			fmt.Printf("  %s done%s\n", b.Name, note)
+		}
+		fmt.Println()
+		fmt.Print(harness.RenderPeak(rows, harness.PerfConfigs()))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Command sulong compiles and runs a C program under one of the
+// reproduction's execution engines.
+//
+// Usage:
+//
+//	sulong [-engine safe|native|asan|memcheck] [-O 0|3] [-emit-ir]
+//	       [-jit] [-leaks] file.c [program args...]
+//
+// Exit status: the program's exit code; 2 on compile errors; 1 when a
+// memory error or machine fault was reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sulong "repro"
+	"repro/internal/ir"
+)
+
+func main() {
+	engine := flag.String("engine", "safe", "execution engine: safe, native, asan, memcheck")
+	optLevel := flag.Int("O", 0, "optimization level for the native pipeline (0 or 3)")
+	emitIR := flag.Bool("emit-ir", false, "print the compiled SIR module and exit")
+	useJIT := flag.Bool("jit", true, "enable the tier-1 dynamic compiler (safe engine)")
+	leaks := flag.Bool("leaks", false, "report unfreed heap objects at exit (safe engine)")
+	uar := flag.Bool("use-after-return", false, "detect accesses to stack objects of returned functions (safe engine)")
+	runIR := flag.Bool("ir", false, "treat the input as an SIR module instead of C source")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sulong [flags] file.c [args...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	srcFile := flag.Arg(0)
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	engines := map[string]sulong.Engine{
+		"safe":     sulong.EngineSafeSulong,
+		"native":   sulong.EngineNative,
+		"asan":     sulong.EngineASan,
+		"memcheck": sulong.EngineMemcheck,
+		"valgrind": sulong.EngineMemcheck,
+	}
+	eng, ok := engines[*engine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sulong: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	cfg := sulong.Config{
+		Engine:               eng,
+		OptLevel:             *optLevel,
+		Args:                 flag.Args()[1:],
+		Stdin:                os.Stdin,
+		Stdout:               os.Stdout,
+		JIT:                  *useJIT,
+		DetectLeaks:          *leaks,
+		DetectUseAfterReturn: *uar,
+	}
+
+	if *runIR {
+		mod, err := ir.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := ir.Verify(mod); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := sulong.RunModule(mod, cfg)
+		finish(res, err, *engine)
+		return
+	}
+
+	if *emitIR {
+		mod, err := sulong.CompileFor(string(src), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(ir.Print(mod))
+		return
+	}
+
+	res, err := sulong.Run(string(src), cfg)
+	finish(res, err, *engine)
+}
+
+func finish(res sulong.Result, err error, engine string) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sulong:", err)
+		os.Exit(2)
+	}
+	if res.Bug != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", engine, res.Bug)
+		os.Exit(1)
+	}
+	if res.Fault != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", res.Fault)
+		os.Exit(1)
+	}
+	for _, leak := range res.Leaks {
+		fmt.Fprintf(os.Stderr, "leak: %v\n", leak)
+	}
+	os.Exit(res.ExitCode)
+}

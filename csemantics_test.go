@@ -1,0 +1,557 @@
+package sulong_test
+
+import (
+	"strings"
+	"testing"
+
+	sulong "repro"
+)
+
+// csemCase is one C-semantics program with its expected behaviour. Every
+// case runs under both the managed engine and the simulated native machine;
+// the two execution models must agree with each other and with the C
+// standard — differential testing of the whole stack (front end, both
+// interpreters, both libcs).
+type csemCase struct {
+	name string
+	src  string
+	out  string
+	exit int
+}
+
+var csemCases = []csemCase{
+	{"int-arith", `#include <stdio.h>
+int main(void){ printf("%d %d %d %d %d\n", 7+3, 7-3, 7*3, 7/3, 7%3); return 0; }`,
+		"10 4 21 2 1\n", 0},
+	{"negative-div-rem", `#include <stdio.h>
+int main(void){ printf("%d %d %d %d\n", -7/2, -7%2, 7/-2, 7%-2); return 0; }`,
+		"-3 -1 -3 1\n", 0},
+	{"unsigned-wrap", `#include <stdio.h>
+int main(void){ unsigned int u = 0; u--; printf("%u\n", u); return 0; }`,
+		"4294967295\n", 0},
+	{"unsigned-compare", `#include <stdio.h>
+int main(void){ unsigned int a = 0xffffffffu; int b = -1;
+  printf("%d %d\n", a > 5u, (unsigned)b == a); return 0; }`,
+		"1 1\n", 0},
+	{"char-sign-extension", `#include <stdio.h>
+int main(void){ char c = (char)200; printf("%d\n", (int)c); return 0; }`,
+		"-56\n", 0},
+	{"unsigned-char", `#include <stdio.h>
+int main(void){ unsigned char c = (unsigned char)200; printf("%d\n", (int)c); return 0; }`,
+		"200\n", 0},
+	{"short-overflow", `#include <stdio.h>
+int main(void){ short s = 32767; s++; printf("%d\n", (int)s); return 0; }`,
+		"-32768\n", 0},
+	{"shifts", `#include <stdio.h>
+int main(void){ int a = -16; unsigned int b = 0x80000000u;
+  printf("%d %d %u\n", a >> 2, 1 << 10, b >> 4); return 0; }`,
+		"-4 1024 134217728\n", 0},
+	{"bitwise", `#include <stdio.h>
+int main(void){ printf("%d %d %d %d\n", 12 & 10, 12 | 10, 12 ^ 10, ~0); return 0; }`,
+		"8 14 6 -1\n", 0},
+	{"float-arith", `#include <stdio.h>
+int main(void){ double d = 1.0 / 3.0; float f = 0.5f;
+  printf("%.4f %.2f %.1f\n", d, f + 0.25f, 10.0 * 0.5); return 0; }`,
+		"0.3333 0.75 5.0\n", 0},
+	{"float-int-conversions", `#include <stdio.h>
+int main(void){ double d = 3.99; int i = (int)d; double back = i;
+  printf("%d %.1f %d\n", i, back, (int)-2.7); return 0; }`,
+		"3 3.0 -2\n", 0},
+	{"integer-promotion", `#include <stdio.h>
+int main(void){ unsigned char a = 255, b = 1; printf("%d\n", a + b); return 0; }`,
+		"256\n", 0},
+	{"ternary", `#include <stdio.h>
+int main(void){ int x = 5; printf("%d %d\n", x > 3 ? 1 : 2, x < 3 ? 1 : 2); return 0; }`,
+		"1 2\n", 0},
+	{"short-circuit", `#include <stdio.h>
+int hits = 0;
+int bump(void){ hits++; return 1; }
+int main(void){
+  int a = 0 && bump();
+  int b = 1 || bump();
+  printf("%d %d %d\n", a, b, hits);
+  return 0; }`,
+		"0 1 0\n", 0},
+	{"comma-operator", `#include <stdio.h>
+int main(void){ int x = (1, 2, 3); printf("%d\n", x); return 0; }`,
+		"3\n", 0},
+	{"pre-post-incr", `#include <stdio.h>
+int main(void){ int i = 5; printf("%d %d %d %d\n", i++, i, ++i, i); return 0; }`,
+		"5 6 7 7\n", 0},
+	{"compound-assign", `#include <stdio.h>
+int main(void){ int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 2; x |= 1;
+  printf("%d\n", x); return 0; }`,
+		"9\n", 0},
+	{"pointer-arith", `#include <stdio.h>
+int main(void){ int a[5] = {10, 20, 30, 40, 50}; int *p = a + 1;
+  printf("%d %d %d %d\n", *p, p[2], *(p + 1), (int)(&a[4] - &a[1])); return 0; }`,
+		"20 40 30 3\n", 0},
+	{"pointer-compare", `#include <stdio.h>
+int main(void){ int a[4]; int *p = a, *q = a + 2;
+  printf("%d %d %d\n", p < q, p == a, q - p); return 0; }`,
+		"1 1 2\n", 0},
+	{"array-decay-param", `#include <stdio.h>
+int sum(int *v, int n){ int s = 0; int i; for (i = 0; i < n; i++) s += v[i]; return s; }
+int main(void){ int a[4] = {1, 2, 3, 4}; printf("%d\n", sum(a, 4)); return 0; }`,
+		"10\n", 0},
+	{"struct-members", `#include <stdio.h>
+struct point { int x; int y; };
+int main(void){ struct point p; p.x = 3; p.y = 4;
+  printf("%d %d %d\n", p.x, p.y, (int)sizeof(struct point)); return 0; }`,
+		"3 4 8\n", 0},
+	{"struct-pointer-arrow", `#include <stdio.h>
+#include <stdlib.h>
+struct node { int v; struct node *next; };
+int main(void){
+  struct node *a = malloc(sizeof(struct node));
+  struct node *b = malloc(sizeof(struct node));
+  a->v = 1; a->next = b; b->v = 2; b->next = NULL;
+  printf("%d %d\n", a->v, a->next->v);
+  free(a); free(b);
+  return 0; }`,
+		"1 2\n", 0},
+	{"struct-assignment", `#include <stdio.h>
+struct pair { int a; int b; };
+int main(void){ struct pair x; struct pair y; x.a = 1; x.b = 2; y = x; x.a = 9;
+  printf("%d %d\n", y.a, y.b); return 0; }`,
+		"1 2\n", 0},
+	{"struct-layout-padding", `#include <stdio.h>
+struct s { char c; int i; char c2; double d; };
+int main(void){ printf("%d\n", (int)sizeof(struct s)); return 0; }`,
+		"24\n", 0},
+	{"nested-struct", `#include <stdio.h>
+struct inner { int v[2]; };
+struct outer { int tag; struct inner in; };
+int main(void){ struct outer o; o.tag = 7; o.in.v[0] = 1; o.in.v[1] = 2;
+  printf("%d %d %d\n", o.tag, o.in.v[0], o.in.v[1]); return 0; }`,
+		"7 1 2\n", 0},
+	{"union-overlay", `#include <stdio.h>
+union u { int i; unsigned char b[4]; };
+int main(void){ union u x; x.i = 0x01020304;
+  printf("%d %d\n", x.b[0], x.b[3]); return 0; }`,
+		"4 1\n", 0},
+	{"enum-values", `#include <stdio.h>
+enum color { RED, GREEN = 5, BLUE };
+int main(void){ printf("%d %d %d\n", RED, GREEN, BLUE); return 0; }`,
+		"0 5 6\n", 0},
+	{"typedef", `#include <stdio.h>
+typedef unsigned long word;
+typedef struct { int v; } box;
+int main(void){ word w = 42; box b; b.v = 7; printf("%d %d\n", (int)w, b.v); return 0; }`,
+		"42 7\n", 0},
+	{"switch-fallthrough", `#include <stdio.h>
+int classify(int v){
+  switch (v) {
+  case 0:
+  case 1: return 10;
+  case 2: return 20;
+  default: return 30;
+  }
+}
+int main(void){ printf("%d %d %d %d\n", classify(0), classify(1), classify(2), classify(9)); return 0; }`,
+		"10 10 20 30\n", 0},
+	{"switch-break-fall", `#include <stdio.h>
+int main(void){ int total = 0; int v;
+  for (v = 0; v < 3; v++) {
+    switch (v) {
+    case 0: total += 1; /* fall through */
+    case 1: total += 10; break;
+    case 2: total += 100; break;
+    }
+  }
+  printf("%d\n", total); return 0; }`,
+		"121\n", 0},
+	{"goto", `#include <stdio.h>
+int main(void){ int i = 0;
+again:
+  i++;
+  if (i < 3) goto again;
+  printf("%d\n", i); return 0; }`,
+		"3\n", 0},
+	{"do-while", `#include <stdio.h>
+int main(void){ int n = 0; do { n++; } while (n < 5); printf("%d\n", n); return 0; }`,
+		"5\n", 0},
+	{"break-continue", `#include <stdio.h>
+int main(void){ int s = 0; int i;
+  for (i = 0; i < 10; i++) { if (i == 7) break; if (i % 2) continue; s += i; }
+  printf("%d\n", s); return 0; }`,
+		"12\n", 0},
+	{"recursion", `#include <stdio.h>
+int fact(int n){ return n <= 1 ? 1 : n * fact(n - 1); }
+int main(void){ printf("%d\n", fact(10)); return 0; }`,
+		"3628800\n", 0},
+	{"mutual-recursion", `#include <stdio.h>
+int isOdd(int n);
+int isEven(int n){ return n == 0 ? 1 : isOdd(n - 1); }
+int isOdd(int n){ return n == 0 ? 0 : isEven(n - 1); }
+int main(void){ printf("%d %d\n", isEven(10), isOdd(7)); return 0; }`,
+		"1 1\n", 0},
+	{"function-pointer", `#include <stdio.h>
+int add(int a, int b){ return a + b; }
+int mul(int a, int b){ return a * b; }
+int apply(int (*f)(int, int), int a, int b){ return f(a, b); }
+int main(void){ int (*op)(int, int) = add;
+  printf("%d %d\n", apply(op, 3, 4), apply(mul, 3, 4)); return 0; }`,
+		"7 12\n", 0},
+	{"function-pointer-array", `#include <stdio.h>
+int one(void){ return 1; }
+int two(void){ return 2; }
+int main(void){ int (*fs[2])(void) = {one, two};
+  printf("%d %d\n", fs[0](), fs[1]()); return 0; }`,
+		"1 2\n", 0},
+	{"string-literals", `#include <stdio.h>
+#include <string.h>
+int main(void){ const char *s = "hello" " " "world";
+  printf("%s %d %c\n", s, (int)strlen(s), s[6]); return 0; }`,
+		"hello world 11 w\n", 0},
+	{"string-functions", `#include <stdio.h>
+#include <string.h>
+int main(void){
+  char buf[32];
+  strcpy(buf, "abc");
+  strcat(buf, "def");
+  printf("%s %d %d %d\n", buf, strcmp(buf, "abcdef"), strcmp("a", "b") < 0,
+         strncmp("abcX", "abcY", 3));
+  printf("%s %s\n", strchr(buf, 'd'), strstr(buf, "cd"));
+  return 0; }`,
+		"abcdef 0 1 0\ndef cdef\n", 0},
+	{"strtok-loop", `#include <stdio.h>
+#include <string.h>
+int main(void){
+  char line[32] = "a,bb,ccc";
+  char *tok = strtok(line, ",");
+  while (tok != NULL) { printf("[%s]", tok); tok = strtok(NULL, ","); }
+  printf("\n");
+  return 0; }`,
+		"[a][bb][ccc]\n", 0},
+	{"mem-functions", `#include <stdio.h>
+#include <string.h>
+int main(void){
+  char a[8] = "abcdefg";
+  char b[8];
+  memcpy(b, a, 8);
+  memset(a, 'x', 3);
+  printf("%s %s %d\n", a, b, memcmp(a, b, 8) != 0);
+  memmove(a + 1, a, 6);
+  a[7] = '\0';
+  printf("%s\n", a);
+  return 0; }`,
+		"xxxdefg abcdefg 1\nxxxxdef\n", 0},
+	{"sprintf-formats", `#include <stdio.h>
+int main(void){
+  char buf[64];
+  int n = sprintf(buf, "%d|%05d|%-4d|%x|%X|%o|%c|%s|%%", -42, 42, 7, 255, 255, 8, 'Z', "ok");
+  printf("%s %d\n", buf, n);
+  return 0; }`,
+		"-42|00042|7   |ff|FF|10|Z|ok|% 30\n", 0},
+	{"printf-floats", `#include <stdio.h>
+int main(void){ printf("%.2f %.0f %e %g\n", 3.14159, 2.71, 12345.678, 0.0001); return 0; }`,
+		"3.14 3 1.234568e+04 0.0001\n", 0},
+	{"printf-width-star", `#include <stdio.h>
+int main(void){ printf("[%*d] [%.*f]\n", 6, 42, 3, 2.5); return 0; }`,
+		"[    42] [2.500]\n", 0},
+	{"snprintf-truncates", `#include <stdio.h>
+int main(void){ char buf[6]; int n = snprintf(buf, 6, "abcdefgh");
+  printf("%s %d\n", buf, n); return 0; }`,
+		"abcde 8\n", 0},
+	{"sscanf-like-atoi", `#include <stdio.h>
+#include <stdlib.h>
+int main(void){ printf("%d %ld %.1f\n", atoi("  -42xyz"), atol("123456789012"), atof("2.5e1")); return 0; }`,
+		"-42 123456789012 25.0\n", 0},
+	{"strtol-bases", `#include <stdio.h>
+#include <stdlib.h>
+int main(void){
+  char *end;
+  long a = strtol("ff", &end, 16);
+  long b = strtol("0x1A", NULL, 0);
+  long c = strtol("0755", NULL, 0);
+  long d = strtol("42rest", &end, 10);
+  printf("%ld %ld %ld %ld %s\n", a, b, c, d, end);
+  return 0; }`,
+		"255 26 493 42 rest\n", 0},
+	{"qsort-ints", `#include <stdio.h>
+#include <stdlib.h>
+int cmp(const void *a, const void *b){ return *(const int*)a - *(const int*)b; }
+int main(void){ int v[6] = {5, 2, 9, 1, 7, 3}; int i;
+  qsort(v, 6, sizeof(int), cmp);
+  for (i = 0; i < 6; i++) printf("%d ", v[i]);
+  printf("\n"); return 0; }`,
+		"1 2 3 5 7 9 \n", 0},
+	{"bsearch", `#include <stdio.h>
+#include <stdlib.h>
+int cmp(const void *a, const void *b){ return *(const int*)a - *(const int*)b; }
+int main(void){ int v[5] = {2, 4, 6, 8, 10}; int key = 8;
+  int *hit = bsearch(&key, v, 5, sizeof(int), cmp);
+  int miss_key = 5;
+  printf("%d %d\n", hit ? *hit : -1, bsearch(&miss_key, v, 5, sizeof(int), cmp) == NULL);
+  return 0; }`,
+		"8 1\n", 0},
+	{"user-varargs", `#include <stdio.h>
+#include <stdarg.h>
+int sum(int count, ...) {
+    va_list ap;
+    int total = 0;
+    int i;
+    va_start(ap, count);
+    for (i = 0; i < count; i++) total += va_arg(ap, int);
+    va_end(ap);
+    return total;
+}
+int main(void){ printf("%d %d\n", sum(3, 10, 20, 30), sum(0)); return 0; }`,
+		"60 0\n", 0},
+	{"sizeof-everything", `#include <stdio.h>
+int main(void){
+  int a[12];
+  printf("%d %d %d %d %d %d %d\n",
+    (int)sizeof(char), (int)sizeof(short), (int)sizeof(int), (int)sizeof(long),
+    (int)sizeof(double), (int)sizeof(void*), (int)sizeof(a));
+  return 0; }`,
+		"1 2 4 8 8 8 48\n", 0},
+	{"global-init", `#include <stdio.h>
+int scalar = 42;
+int arr[4] = {1, 2, 3};
+char msg[] = "hi";
+struct conf { int a; double b; } cfg = {7, 2.5};
+int *ptr = &scalar;
+int main(void){
+  printf("%d %d %d %d %s %d %.1f %d\n",
+    scalar, arr[0], arr[2], arr[3], msg, cfg.a, cfg.b, *ptr);
+  return 0; }`,
+		"42 1 3 0 hi 7 2.5 42\n", 0},
+	{"static-local", `#include <stdio.h>
+int counter(void){ static int n = 0; return ++n; }
+int main(void){ counter(); counter(); printf("%d\n", counter()); return 0; }`,
+		"3\n", 0},
+	{"scoping-shadow", `#include <stdio.h>
+int x = 1;
+int main(void){
+  int x = 2;
+  { int x = 3; printf("%d ", x); }
+  printf("%d\n", x);
+  return 0; }`,
+		"3 2\n", 0},
+	{"exit-code", `#include <stdlib.h>
+int main(void){ exit(42); }`, "", 42},
+	{"main-return-code", `int main(void){ return 7; }`, "", 7},
+	{"argv-access", `#include <stdio.h>
+#include <string.h>
+int main(int argc, char **argv){
+  printf("%d %s %d\n", argc, argv[1], argv[argc] == NULL);
+  return 0; }`,
+		"", -1000}, // filled in below (uses args)
+	{"calloc-zeroed", `#include <stdio.h>
+#include <stdlib.h>
+int main(void){ int *p = calloc(4, sizeof(int)); int ok = 1; int i;
+  for (i = 0; i < 4; i++) if (p[i] != 0) ok = 0;
+  printf("%d\n", ok); free(p); return 0; }`,
+		"1\n", 0},
+	{"realloc-preserves", `#include <stdio.h>
+#include <stdlib.h>
+int main(void){
+  int *p = malloc(2 * sizeof(int));
+  p[0] = 11; p[1] = 22;
+  p = realloc(p, 8 * sizeof(int));
+  p[7] = 77;
+  printf("%d %d %d\n", p[0], p[1], p[7]);
+  free(p);
+  return 0; }`,
+		"11 22 77\n", 0},
+	{"ctype", `#include <stdio.h>
+#include <ctype.h>
+int main(void){
+  printf("%d%d%d%d%d %c%c\n",
+    isdigit('7'), isalpha('x'), isspace(' '), isupper('A') && !isupper('a'),
+    isalnum('_') == 0, toupper('q'), tolower('Q'));
+  return 0; }`,
+		"11111 Qq\n", 0},
+	{"math-functions", `#include <stdio.h>
+#include <math.h>
+int main(void){
+  printf("%.4f %.4f %.4f %.4f %.1f %.1f\n",
+    sqrt(2.0), sin(0.0), pow(2.0, 10.0), fabs(-1.5), floor(2.7), ceil(2.1));
+  return 0; }`,
+		"1.4142 0.0000 1024.0000 1.5000 2.0 3.0\n", 0},
+	{"fgets-scanf", `#include <stdio.h>
+int main(void){
+  int v;
+  char word[16];
+  scanf("%d %s", &v, word);
+  printf("%d %s\n", v * 2, word);
+  return 0; }`,
+		"", -2000}, // stdin case, filled below
+	{"gets-line", `#include <stdio.h>
+#include <string.h>
+int main(void){
+  char buf[64];
+  gets(buf);
+  printf("%d:%s\n", (int)strlen(buf), buf);
+  return 0; }`,
+		"", -2001},
+	{"2d-array", `#include <stdio.h>
+int main(void){
+  int m[3][4];
+  int r, c, sum = 0;
+  for (r = 0; r < 3; r++) for (c = 0; c < 4; c++) m[r][c] = r * 4 + c;
+  for (r = 0; r < 3; r++) sum += m[r][3];
+  printf("%d %d\n", sum, m[2][1]);
+  return 0; }`,
+		"21 9\n", 0},
+	{"char-array-init-list", `#include <stdio.h>
+int main(void){ char v[4] = {'a', 'b'}; printf("%c%c%d%d\n", v[0], v[1], v[2], v[3]); return 0; }`,
+		"ab00\n", 0},
+	{"hex-octal-char-literals", `#include <stdio.h>
+int main(void){ printf("%d %d %d %d\n", 0xff, 010, 'A', '\n'); return 0; }`,
+		"255 8 65 10\n", 0},
+	{"long-long-math", `#include <stdio.h>
+int main(void){ long long big = 1; int i;
+  for (i = 0; i < 40; i++) big *= 2;
+  printf("%ld\n", (long)big); return 0; }`,
+		"1099511627776\n", 0},
+	{"const-propagated", `#include <stdio.h>
+int main(void){ const int n = 6; int a[6]; int i; int s = 0;
+  for (i = 0; i < n; i++) a[i] = i * i;
+  for (i = 0; i < n; i++) s += a[i];
+  printf("%d\n", s); return 0; }`,
+		"55\n", 0},
+	{"preprocessor-macros", `#include <stdio.h>
+#define SQUARE(x) ((x) * (x))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define GREETING "hey"
+#if defined(SQUARE) && 1
+#define ENABLED 1
+#else
+#define ENABLED 0
+#endif
+int main(void){ printf("%d %d %s %d\n", SQUARE(1 + 2), MAX(3, 7), GREETING, ENABLED); return 0; }`,
+		"9 7 hey 1\n", 0},
+	{"preprocessor-conditional", `#include <stdio.h>
+#define MODE 2
+#if MODE == 1
+#define NAME "one"
+#elif MODE == 2
+#define NAME "two"
+#else
+#define NAME "other"
+#endif
+#ifndef MISSING
+#define FALLBACK 9
+#endif
+int main(void){ printf("%s %d\n", NAME, FALLBACK); return 0; }`,
+		"two 9\n", 0},
+	{"void-pointer-roundtrip", `#include <stdio.h>
+#include <stdlib.h>
+int main(void){
+  int v = 99;
+  void *p = &v;
+  int *q = (int *)p;
+  printf("%d\n", *q);
+  return 0; }`,
+		"99\n", 0},
+	{"double-in-long-reinterpret", `#include <stdio.h>
+#include <string.h>
+int main(void){
+  /* the paper's relaxed-typing example: store a double's bits in a long */
+  double d = 1.5;
+  long bits;
+  double back;
+  memcpy(&bits, &d, 8);
+  memcpy(&back, &bits, 8);
+  printf("%.1f %d\n", back, bits != 0);
+  return 0; }`,
+		"1.5 1\n", 0},
+}
+
+func TestCSemanticsBothEngines(t *testing.T) {
+	for _, tc := range csemCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfgBase := sulong.Config{}
+			wantOut, wantExit := tc.out, tc.exit
+			switch tc.exit {
+			case -1000:
+				cfgBase.Args = []string{"alpha", "beta"}
+				wantOut, wantExit = "3 alpha 1\n", 0
+			case -2000:
+				wantOut, wantExit = "42 go\n", 0
+			case -2001:
+				wantOut, wantExit = "5:hello\n", 0
+			}
+			for _, eng := range []sulong.Engine{sulong.EngineSafeSulong, sulong.EngineNative} {
+				cfg := cfgBase
+				cfg.Engine = eng
+				switch tc.exit {
+				case -2000:
+					cfg.Stdin = strings.NewReader("21 go\n")
+				case -2001:
+					cfg.Stdin = strings.NewReader("hello\n")
+				}
+				res, err := sulong.Run(tc.src, cfg)
+				if err != nil {
+					t.Fatalf("%v: %v", eng, err)
+				}
+				if res.Bug != nil {
+					t.Fatalf("%v: unexpected bug: %v", eng, res.Bug)
+				}
+				if res.Fault != nil {
+					t.Fatalf("%v: fault: %v", eng, res.Fault)
+				}
+				if res.Stdout != wantOut {
+					t.Errorf("%v: stdout = %q, want %q", eng, res.Stdout, wantOut)
+				}
+				if res.ExitCode != wantExit {
+					t.Errorf("%v: exit = %d, want %d", eng, res.ExitCode, wantExit)
+				}
+			}
+		})
+	}
+}
+
+// TestCSemanticsUnderJIT re-runs the same suite under the tier-1 compiler
+// with an aggressive threshold, guarding against compiled/interpreted
+// divergence.
+func TestCSemanticsUnderJIT(t *testing.T) {
+	for _, tc := range csemCases {
+		if tc.exit < -100 {
+			continue // arg/stdin cases covered above
+		}
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := sulong.Run(tc.src, sulong.Config{
+				Engine: sulong.EngineSafeSulong, JIT: true, JITThreshold: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bug != nil {
+				t.Fatalf("unexpected bug: %v", res.Bug)
+			}
+			if res.Stdout != tc.out || res.ExitCode != tc.exit {
+				t.Errorf("jit: got (%q, %d), want (%q, %d)", res.Stdout, res.ExitCode, tc.out, tc.exit)
+			}
+		})
+	}
+}
+
+// TestCSemanticsAtO3 runs the suite through the optimizer pipeline on the
+// native engine: optimization must never change the observable behaviour of
+// well-defined programs.
+func TestCSemanticsAtO3(t *testing.T) {
+	for _, tc := range csemCases {
+		if tc.exit < -100 {
+			continue
+		}
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := sulong.Run(tc.src, sulong.Config{Engine: sulong.EngineNative, OptLevel: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fault != nil {
+				t.Fatalf("fault: %v", res.Fault)
+			}
+			if res.Stdout != tc.out || res.ExitCode != tc.exit {
+				t.Errorf("-O3: got (%q, %d), want (%q, %d)", res.Stdout, res.ExitCode, tc.out, tc.exit)
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package sulong_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	sulong "repro"
+)
+
+// exprRNG is a deterministic generator for the differential fuzzer.
+type exprRNG struct{ s uint64 }
+
+func (r *exprRNG) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 16
+}
+
+func (r *exprRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// genExpr builds a random C integer expression of bounded depth over a fixed
+// set of variables. Division and shifts are guarded to keep the program
+// well-defined (so both engines must agree).
+func genExpr(r *exprRNG, depth int) string {
+	if depth == 0 || r.intn(4) == 0 {
+		switch r.intn(6) {
+		case 0:
+			return fmt.Sprintf("%d", r.intn(2000)-1000)
+		case 1:
+			return fmt.Sprintf("%du", r.intn(1000))
+		case 2:
+			return "a"
+		case 3:
+			return "b"
+		case 4:
+			return "c"
+		default:
+			return "u"
+		}
+	}
+	x := genExpr(r, depth-1)
+	y := genExpr(r, depth-1)
+	switch r.intn(12) {
+	case 0:
+		return "(" + x + " + " + y + ")"
+	case 1:
+		return "(" + x + " - " + y + ")"
+	case 2:
+		return "(" + x + " * " + y + ")"
+	case 3:
+		return "(" + x + " / (" + y + " | 1))" // never zero
+	case 4:
+		return "(" + x + " % (" + y + " | 1))"
+	case 5:
+		return "(" + x + " & " + y + ")"
+	case 6:
+		return "(" + x + " | " + y + ")"
+	case 7:
+		return "(" + x + " ^ " + y + ")"
+	case 8:
+		return "(" + x + " << (" + y + " & 7))"
+	case 9:
+		return "(" + x + " >> (" + y + " & 7))"
+	case 10:
+		return "(" + x + " < " + y + ")"
+	default:
+		return "(" + x + " == " + y + " ? " + x + " : " + y + ")"
+	}
+}
+
+// TestDifferentialExpressions generates random well-defined integer
+// expression programs and requires the managed engine, the native machine,
+// and the optimized native pipeline to produce identical output — a three-
+// way differential over the front end, both ALUs, and the optimizer.
+func TestDifferentialExpressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzz skipped in -short mode")
+	}
+	r := &exprRNG{s: 20180324} // the paper's publication date
+	const programs = 60
+	for i := 0; i < programs; i++ {
+		var exprs []string
+		for k := 0; k < 4; k++ {
+			exprs = append(exprs, genExpr(r, 3))
+		}
+		src := fmt.Sprintf(`#include <stdio.h>
+int main(void) {
+    int a = %d, b = %d, c = %d;
+    unsigned int u = %du;
+    long r0 = (long)(%s);
+    long r1 = (long)(%s);
+    long r2 = (long)(%s);
+    long r3 = (long)(%s);
+    printf("%%ld %%ld %%ld %%ld\n", r0, r1, r2, r3);
+    return 0;
+}`, r.intn(200)-100, r.intn(200)-100, r.intn(2000)-1000, r.intn(5000),
+			exprs[0], exprs[1], exprs[2], exprs[3])
+
+		var outs [3]string
+		configs := []sulong.Config{
+			{Engine: sulong.EngineSafeSulong},
+			{Engine: sulong.EngineNative, OptLevel: 0},
+			{Engine: sulong.EngineNative, OptLevel: 3},
+		}
+		ok := true
+		for ci, cfg := range configs {
+			res, err := sulong.Run(src, cfg)
+			if err != nil {
+				t.Fatalf("program %d config %d: %v\n%s", i, ci, err, src)
+			}
+			if res.Bug != nil || res.Fault != nil {
+				t.Fatalf("program %d config %d: unexpected bug/fault %v %v\n%s", i, ci, res.Bug, res.Fault, src)
+			}
+			outs[ci] = res.Stdout
+			if ci > 0 && outs[ci] != outs[0] {
+				ok = false
+			}
+		}
+		if !ok {
+			t.Errorf("program %d: engines diverge:\n  managed:   %q\n  native O0: %q\n  native O3: %q\nsource:\n%s",
+				i, outs[0], outs[1], outs[2], src)
+		}
+	}
+}
+
+// TestDifferentialUnsignedLong extends the fuzz to 64-bit unsigned edges.
+func TestDifferentialUnsignedLong(t *testing.T) {
+	cases := []string{
+		"(unsigned long)-1 / 3u",
+		"(unsigned long)-1 % 10u",
+		"(1ul << 63) >> 62",
+		"((long)((1ul << 63))) >> 62",
+		"(unsigned long)-1 > 5u",
+		"(long)-1 > 5",
+		"(unsigned char)(300) + (signed char)(-2)",
+		"(short)65535 * 2",
+		"(unsigned short)65535 + 1",
+	}
+	var lines []string
+	for _, e := range cases {
+		lines = append(lines, fmt.Sprintf(`    printf("%%ld\n", (long)(%s));`, e))
+	}
+	src := "#include <stdio.h>\nint main(void) {\n" + strings.Join(lines, "\n") + "\n    return 0;\n}"
+	var ref string
+	for _, eng := range []sulong.Engine{sulong.EngineSafeSulong, sulong.EngineNative} {
+		res, err := sulong.Run(src, sulong.Config{Engine: eng})
+		if err != nil || res.Bug != nil {
+			t.Fatalf("%v: %v %v", eng, err, res.Bug)
+		}
+		if ref == "" {
+			ref = res.Stdout
+		} else if res.Stdout != ref {
+			t.Errorf("engines diverge:\n%q\nvs\n%q", ref, res.Stdout)
+		}
+	}
+	// Spot-check a few known values.
+	if !strings.HasPrefix(ref, "6148914691236517205\n") {
+		t.Errorf("(unsigned long)-1 / 3 wrong: %q", ref)
+	}
+}

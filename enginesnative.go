@@ -1,0 +1,106 @@
+package sulong
+
+import (
+	"fmt"
+
+	"repro/internal/asan"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/memcheck"
+	"repro/internal/nativemem"
+	"repro/internal/nativevm"
+	"repro/internal/nlibc"
+	"repro/internal/opt"
+)
+
+// CompileNative compiles a C program the way the native toolchain does: the
+// user source only (libc is the "precompiled" nlibc), run through the
+// optimizer at the requested level. Level 0 still applies the backend
+// constant-global fold the paper caught Clang doing at -O0 (Fig. 13).
+func CompileNative(src string, optLevel int) (*ir.Module, error) {
+	mod, err := CompileBare(src)
+	if err != nil {
+		return nil, err
+	}
+	applyNativeOpt(mod, optLevel)
+	return mod, nil
+}
+
+func applyNativeOpt(mod *ir.Module, optLevel int) {
+	if optLevel >= 2 {
+		opt.RunO3(mod)
+	} else {
+		opt.RunO0(mod)
+	}
+}
+
+// NativeConfig builds the machine configuration for a native-family engine:
+// the libc binding, and for the instrumented engines the checker, the
+// replacement allocator, and the redzone geometry. Callers fill in Args,
+// Stdin/Stdout, and limits.
+func NativeConfig(eng Engine) (nativevm.Config, error) {
+	ncfg, _, err := nativeConfigWithHook(eng)
+	return ncfg, err
+}
+
+func nativeConfigWithHook(eng Engine) (nativevm.Config, func(res *Result), error) {
+	var ncfg nativevm.Config
+	switch eng {
+	case EngineNative:
+		ncfg.Libc = nlibc.Table(false)
+		return ncfg, nil, nil
+	case EngineASan:
+		tool := asan.New(asan.DefaultOptions())
+		ncfg.Checker = tool
+		ncfg.NewAllocator = tool.NewAllocator
+		ncfg.StackRedzone = tool.Options().StackRedzone
+		ncfg.GlobalRedzone = tool.Options().GlobalRedzone
+		ncfg.Libc = asan.Interceptors(nlibc.Table(false), tool)
+		return ncfg, nil, nil
+	case EngineMemcheck:
+		tool := memcheck.New()
+		ncfg.Checker = tool
+		ncfg.NewAllocator = tool.NewAllocator
+		ncfg.PerInstr = tool.PerInstr
+		ncfg.Libc = nlibc.Table(true)
+		return ncfg, func(res *Result) { res.Leaks = tool.Leaks() }, nil
+	}
+	return ncfg, nil, fmt.Errorf("sulong: engine %v is not native", eng)
+}
+
+// runNativeFamily executes a module on the simulated native machine,
+// optionally under ASan or memcheck instrumentation.
+func runNativeFamily(mod *ir.Module, cfg Config) (Result, error) {
+	ncfg, finish, err := nativeConfigWithHook(cfg.Engine)
+	if err != nil {
+		return Result{}, err
+	}
+	ncfg.Args = cfg.Args
+	ncfg.Env = cfg.Env
+	ncfg.Stdin = cfg.Stdin
+	ncfg.Stdout = cfg.Stdout
+	ncfg.MaxSteps = cfg.MaxSteps
+
+	m, err := nativevm.New(mod, ncfg)
+	if err != nil {
+		return Result{}, err
+	}
+	code, runErr := m.Run()
+	res := Result{ExitCode: code, Stdout: m.Output()}
+	if finish != nil {
+		finish(&res)
+	}
+	if runErr != nil {
+		switch e := runErr.(type) {
+		case *core.BugError:
+			res.Bug = e
+		case *nativemem.Fault:
+			res.Fault = e
+		case *nativevm.GlibcAbort:
+			res.Fault = e
+		default:
+			return res, runErr
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,43 @@
+// Benchgame: run one Benchmarks Game program (nbody by default) under every
+// engine, verify they agree on the output, and report relative timings —
+// a miniature of the paper's Fig. 16.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/benchprog"
+	"repro/internal/harness"
+)
+
+func main() {
+	name := "nbody"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := benchprog.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s (argument %s)\n\n", b.Name, b.SmallArg)
+
+	res, err := harness.MeasurePeak(b, b.SmallArg, 5, 3, harness.PerfConfigs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := res.Times[harness.ClangO0]
+	for _, cfg := range harness.PerfConfigs() {
+		bar := ""
+		n := int(res.Relative(cfg) * 20)
+		for i := 0; i < n && i < 60; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-14v %8s  %5.2fx  %s\n", cfg, round(res.Times[cfg]), res.Relative(cfg), bar)
+	}
+	fmt.Printf("\nbaseline (Clang -O0 on the simulated machine): %v per iteration\n", round(base))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

@@ -1,0 +1,39 @@
+// Quickstart: compile a C program, run it under Safe Sulong, and catch the
+// heap overflow it contains — in ~20 lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sulong "repro"
+)
+
+const program = `
+#include <stdlib.h>
+#include <stdio.h>
+
+int main(void) {
+    int i;
+    int *primes = malloc(4 * sizeof(int));
+    primes[0] = 2; primes[1] = 3; primes[2] = 5; primes[3] = 7;
+    for (i = 0; i <= 4; i++) {               /* classic off-by-one */
+        printf("prime %d: %d\n", i, primes[i]);
+    }
+    free(primes);
+    return 0;
+}
+`
+
+func main() {
+	res, err := sulong.Run(program, sulong.Config{Engine: sulong.EngineSafeSulong})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Stdout)
+	if res.Bug != nil {
+		fmt.Println("bug found:", res.Bug)
+	} else {
+		fmt.Println("no bug found (unexpected!)")
+	}
+}

@@ -1,0 +1,53 @@
+// Toolcompare: the same buggy program under all four engines, showing who
+// sees what — the paper's central claim in miniature. The bug is Fig. 11's
+// unterminated strtok delimiter: the overflow happens *inside libc*, where
+// ASan has no interceptor and Valgrind sees only addressable stack memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sulong "repro"
+)
+
+const program = `
+#include <string.h>
+#include <stdio.h>
+
+char line[64] = "GET /index.html HTTP/1.0";
+
+int main(void) {
+    const char sep[1] = {' '};      /* no room for the NUL terminator */
+    char *tok = strtok(line, sep);
+    while (tok != NULL) {
+        puts(tok);
+        tok = strtok(NULL, sep);
+    }
+    return 0;
+}
+`
+
+func main() {
+	engines := []sulong.Engine{
+		sulong.EngineSafeSulong,
+		sulong.EngineASan,
+		sulong.EngineMemcheck,
+		sulong.EngineNative,
+	}
+	for _, eng := range engines {
+		res, err := sulong.Run(program, sulong.Config{Engine: eng})
+		if err != nil {
+			log.Fatalf("%v: %v", eng, err)
+		}
+		fmt.Printf("%-12v ", eng)
+		switch {
+		case res.Bug != nil:
+			fmt.Printf("DETECTED: %v\n", res.Bug)
+		case res.Fault != nil:
+			fmt.Printf("crashed: %v\n", res.Fault)
+		default:
+			fmt.Printf("silent (exit %d, %d bytes of output)\n", res.ExitCode, len(res.Stdout))
+		}
+	}
+}

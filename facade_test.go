@@ -1,0 +1,137 @@
+package sulong_test
+
+import (
+	"strings"
+	"testing"
+
+	sulong "repro"
+	"repro/internal/ir"
+)
+
+func TestEngineNames(t *testing.T) {
+	names := map[sulong.Engine]string{
+		sulong.EngineSafeSulong: "SafeSulong",
+		sulong.EngineNative:     "Native",
+		sulong.EngineASan:       "ASan",
+		sulong.EngineMemcheck:   "Memcheck",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+}
+
+func TestRunModuleRejectsUnknownEngine(t *testing.T) {
+	mod, err := sulong.CompileBare("int main(void){ return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sulong.RunModule(mod, sulong.Config{Engine: sulong.Engine(99)}); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
+func TestNativeConfigPerEngine(t *testing.T) {
+	for _, eng := range []sulong.Engine{sulong.EngineNative, sulong.EngineASan, sulong.EngineMemcheck} {
+		cfg, err := sulong.NativeConfig(eng)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if cfg.Libc == nil {
+			t.Errorf("%v: no libc binding", eng)
+		}
+		if eng != sulong.EngineNative && cfg.Checker == nil {
+			t.Errorf("%v: instrumented engine without checker", eng)
+		}
+		if eng == sulong.EngineNative && cfg.Checker != nil {
+			t.Error("bare native must not have a checker")
+		}
+	}
+	if _, err := sulong.NativeConfig(sulong.EngineSafeSulong); err == nil {
+		t.Error("NativeConfig(SafeSulong) should error")
+	}
+}
+
+func TestCompileErrorsSurfaceLocations(t *testing.T) {
+	_, err := sulong.Run("int main(void) { return undeclared_symbol; }",
+		sulong.Config{Engine: sulong.EngineSafeSulong})
+	if err == nil {
+		t.Fatal("expected compile error")
+	}
+	if !strings.Contains(err.Error(), "user.c:") {
+		t.Errorf("error should carry a user.c location: %v", err)
+	}
+}
+
+func TestExtraFilesInclude(t *testing.T) {
+	src := `#include "config.h"
+#include <stdio.h>
+int main(void) { printf("%d\n", LIMIT); return 0; }`
+	res, err := sulong.Run(src, sulong.Config{
+		Engine:     sulong.EngineSafeSulong,
+		ExtraFiles: map[string]string{"config.h": "#define LIMIT 77\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "77\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestCompileForMatchesEnginePipelines(t *testing.T) {
+	src := `
+const int tab[2] = {1, 2};
+int main(void) { return tab[5]; }`
+	managed, err := sulong.CompileFor(src, sulong.Config{Engine: sulong.EngineSafeSulong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := sulong.CompileFor(src, sulong.Config{Engine: sulong.EngineNative, OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The managed module links the interpreted libc; the native one does not.
+	if managed.Func("printf") == nil || !functionDefined(managed, "printf") {
+		t.Error("managed module should define printf (C libc linked)")
+	}
+	if functionDefined(native, "printf") {
+		t.Error("native module must not define printf (precompiled libc)")
+	}
+	// The native -O0 pipeline folds the const-global OOB read away.
+	if countLoads(native.Func("main")) != 0 {
+		t.Errorf("native -O0 should fold the const-global load:\n%s", ir.PrintFunc(native.Func("main")))
+	}
+	if countLoads(managed.Func("main")) == 0 {
+		t.Error("managed module must keep the load (Safe Sulong sees the bug)")
+	}
+}
+
+func functionDefined(m *ir.Module, name string) bool {
+	f := m.Func(name)
+	return f != nil && !f.IsDecl
+}
+
+func countLoads(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpLoad {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStatsExposed(t *testing.T) {
+	res, err := sulong.Run(`int main(void){ int i, s = 0; for (i = 0; i < 100; i++) s += i; return s & 0x7f; }`,
+		sulong.Config{Engine: sulong.EngineSafeSulong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steps == 0 || res.Stats.Allocs == 0 {
+		t.Errorf("stats empty: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,160 @@
+package asan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nativemem"
+)
+
+func newTool() (*Tool, *nativemem.Memory) {
+	t := New(DefaultOptions())
+	mem := nativemem.New()
+	t.NewAllocator(mem)
+	return t, mem
+}
+
+func TestHeapRedzonesFire(t *testing.T) {
+	tool, _ := newTool()
+	alloc := (*asanAlloc)(tool)
+	addr := alloc.Malloc(32)
+	if addr == 0 {
+		t.Fatal("malloc failed")
+	}
+	if be := tool.Load(addr, 4); be != nil {
+		t.Errorf("in-bounds load flagged: %v", be)
+	}
+	if be := tool.Load(addr+31, 1); be != nil {
+		t.Errorf("last byte flagged: %v", be)
+	}
+	be := tool.Load(addr+32, 1)
+	if be == nil || be.Kind != core.OutOfBounds || be.Mem != core.HeapMem {
+		t.Errorf("right redzone: %v", be)
+	}
+	be = tool.Store(addr-1, 1)
+	if be == nil || be.Kind != core.OutOfBounds {
+		t.Errorf("left redzone: %v", be)
+	}
+}
+
+func TestBeyondRedzoneIsInvisible(t *testing.T) {
+	tool, _ := newTool()
+	alloc := (*asanAlloc)(tool)
+	addr := alloc.Malloc(32)
+	// Far past the redzone: unshadowed memory never fires (Fig. 14).
+	if be := tool.Load(addr+100000, 4); be != nil {
+		t.Errorf("unshadowed access flagged: %v", be)
+	}
+}
+
+func TestFreedMemoryAndQuarantine(t *testing.T) {
+	tool, _ := newTool()
+	alloc := (*asanAlloc)(tool)
+	addr := alloc.Malloc(64)
+	if err := alloc.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	be := tool.Load(addr, 4)
+	if be == nil || be.Kind != core.UseAfterFree {
+		t.Errorf("freed-in-quarantine read: %v", be)
+	}
+	// Double free detected while in quarantine.
+	if err := alloc.Free(addr); err == nil {
+		t.Error("double free not detected")
+	} else if be, ok := err.(*core.BugError); !ok || be.Kind != core.DoubleFree {
+		t.Errorf("double free kind: %v", err)
+	}
+	// Invalid free of a never-allocated address.
+	if err := alloc.Free(0x123456); err == nil {
+		t.Error("invalid free not detected")
+	}
+}
+
+func TestQuarantineEvictionLosesUAF(t *testing.T) {
+	opts := DefaultOptions()
+	opts.QuarantineBytes = 128 // tiny: evicts almost immediately
+	tool := New(opts)
+	mem := nativemem.New()
+	tool.NewAllocator(mem)
+	alloc := (*asanAlloc)(tool)
+
+	stale := alloc.Malloc(64)
+	alloc.Free(stale)
+	// Churn past the quarantine budget.
+	for i := 0; i < 8; i++ {
+		alloc.Free(alloc.Malloc(64))
+	}
+	// Reuse the storage.
+	fresh := alloc.Malloc(64)
+	_ = fresh
+	if be := tool.Load(stale, 4); be != nil && be.Kind == core.UseAfterFree {
+		// Only a failure if the block was genuinely re-allocated.
+		if fresh == stale {
+			t.Errorf("reused block still reports UAF: %v", be)
+		}
+	}
+}
+
+func TestStackRedzones(t *testing.T) {
+	tool, _ := newTool()
+	tool.StackAlloc(0x7000_0000, 16)
+	if be := tool.Load(0x7000_0000, 8); be != nil {
+		t.Errorf("object flagged: %v", be)
+	}
+	be := tool.Load(0x7000_0010, 1)
+	if be == nil || be.Mem != core.AutoMem {
+		t.Errorf("stack redzone above: %v", be)
+	}
+	be = tool.Load(0x7000_0000-1, 1)
+	if be == nil || be.Mem != core.AutoMem {
+		t.Errorf("stack redzone below: %v", be)
+	}
+	// Frame teardown unpoisons.
+	tool.StackFree(0x7000_0000-32, 0x7000_0000+48)
+	if be := tool.Load(0x7000_0010, 1); be != nil {
+		t.Errorf("after StackFree: %v", be)
+	}
+}
+
+func TestGlobalRedzones(t *testing.T) {
+	tool, _ := newTool()
+	tool.GlobalAlloc(0x10000, 8)
+	if be := tool.Load(0x10000, 8); be != nil {
+		t.Errorf("global flagged: %v", be)
+	}
+	be := tool.Load(0x10008, 4)
+	if be == nil || be.Mem != core.StaticMem {
+		t.Errorf("global redzone: %v", be)
+	}
+	// With instrumentation off, nothing fires.
+	opts := DefaultOptions()
+	opts.InstrumentGlobals = false
+	tool2 := New(opts)
+	tool2.GlobalAlloc(0x10000, 8)
+	if be := tool2.Load(0x10008, 4); be != nil {
+		t.Errorf("uninstrumented globals should not fire: %v", be)
+	}
+}
+
+func TestCheckRangeScansEveryByte(t *testing.T) {
+	tool, _ := newTool()
+	alloc := (*asanAlloc)(tool)
+	addr := alloc.Malloc(16)
+	// A 32-byte range starting in-bounds crosses the right redzone.
+	if be := tool.CheckRange(addr, 32, core.Write); be == nil {
+		t.Error("CheckRange should scan into the redzone")
+	}
+	if be := tool.CheckRange(addr, 16, core.Read); be != nil {
+		t.Errorf("exact range flagged: %v", be)
+	}
+}
+
+func TestAccessSpanningPageBoundary(t *testing.T) {
+	tool, _ := newTool()
+	// Poison straddles a shadow-page boundary; the slow path must see it.
+	base := uint64(nativemem.PageSize*10 - 4)
+	tool.setState(base, 8, shadowHeapRedzone)
+	if be := tool.Load(base+2, 4); be == nil {
+		t.Error("cross-page poisoned access missed")
+	}
+}

@@ -1,0 +1,191 @@
+package asan
+
+import (
+	"repro/internal/core"
+	"repro/internal/nativevm"
+)
+
+// Interceptors wraps the precompiled libc with ASan's argument-checking
+// interceptors. The set below mirrors the historical ASan interceptor list
+// as of the paper's evaluation:
+//
+//   - memory and string movers are fully range-checked,
+//   - strlen/strcmp check the string range they traverse,
+//   - printf's interceptor validates only pointer (%s) arguments — an int
+//     passed where %ld is expected goes unnoticed (paper Fig. 12),
+//   - strtok has NO interceptor (the paper found this and contributed one
+//     upstream afterwards, LLVM rL298650 — this model predates the fix).
+func Interceptors(base map[string]nativevm.LibFunc, t *Tool) map[string]nativevm.LibFunc {
+	out := make(map[string]nativevm.LibFunc, len(base))
+	for k, v := range base {
+		out[k] = v
+	}
+
+	// cstrRange computes [addr, addr+len] of a NUL-terminated string by an
+	// unchecked scan, then checks that range in shadow — how real
+	// interceptors validate string arguments.
+	checkStr := func(m *nativevm.Machine, addr uint64, acc core.AccessKind) *core.BugError {
+		if addr == 0 {
+			return nil
+		}
+		n := int64(0)
+		for {
+			b, f := m.Mem.LoadByte(addr + uint64(n))
+			if f != nil || b == 0 {
+				break
+			}
+			n++
+			if n > 1<<20 {
+				break
+			}
+		}
+		return t.CheckRange(addr, n+1, acc)
+	}
+
+	wrapRange := func(name string, ranges func(c *nativevm.CallCtx) [][3]int64) {
+		inner, ok := base[name]
+		if !ok {
+			return
+		}
+		out[name] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+			for _, r := range ranges(c) {
+				acc := core.Read
+				if r[2] != 0 {
+					acc = core.Write
+				}
+				if be := t.CheckRange(uint64(r[0]), r[1], acc); be != nil {
+					be.Func = "asan:" + name
+					return nativevm.Value{}, be
+				}
+			}
+			return inner(m, c)
+		}
+	}
+
+	// memcpy/memmove/memset: both ranges fully checked.
+	for _, name := range []string{"memcpy", "memmove", "__builtin_memcpy"} {
+		wrapRange(name, func(c *nativevm.CallCtx) [][3]int64 {
+			return [][3]int64{
+				{c.Args[0].I, c.Args[2].I, 1},
+				{c.Args[1].I, c.Args[2].I, 0},
+			}
+		})
+	}
+	for _, name := range []string{"memset", "__builtin_memset"} {
+		wrapRange(name, func(c *nativevm.CallCtx) [][3]int64 {
+			return [][3]int64{{c.Args[0].I, c.Args[2].I, 1}}
+		})
+	}
+	wrapRange("memcmp", func(c *nativevm.CallCtx) [][3]int64 {
+		return [][3]int64{
+			{c.Args[0].I, c.Args[2].I, 0},
+			{c.Args[1].I, c.Args[2].I, 0},
+		}
+	})
+
+	wrapStr := func(name string, which []int) {
+		inner, ok := base[name]
+		if !ok {
+			return
+		}
+		out[name] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+			for _, i := range which {
+				if be := checkStr(m, uint64(c.Args[i].I), core.Read); be != nil {
+					be.Func = "asan:" + name
+					return nativevm.Value{}, be
+				}
+			}
+			return inner(m, c)
+		}
+	}
+	wrapStr("strlen", []int{0})
+	wrapStr("strcmp", []int{0, 1})
+	wrapStr("strncmp", []int{0, 1})
+	wrapStr("strchr", []int{0})
+	wrapStr("strcat", []int{0, 1})
+	wrapStr("strdup", []int{0})
+	wrapStr("puts", []int{0})
+	wrapStr("atoi", []int{0})
+	wrapStr("atol", []int{0})
+	// strcpy: source string readable, destination writable for its length.
+	if inner, ok := base["strcpy"]; ok {
+		out["strcpy"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+			src := uint64(c.Args[1].I)
+			if be := checkStr(m, src, core.Read); be != nil {
+				be.Func = "asan:strcpy"
+				return nativevm.Value{}, be
+			}
+			n := int64(0)
+			for {
+				b, f := m.Mem.LoadByte(src + uint64(n))
+				if f != nil || b == 0 {
+					break
+				}
+				n++
+			}
+			if be := t.CheckRange(uint64(c.Args[0].I), n+1, core.Write); be != nil {
+				be.Func = "asan:strcpy"
+				return nativevm.Value{}, be
+			}
+			return inner(m, c)
+		}
+	}
+	// NOTE: no strtok interceptor — deliberately (paper case study 2).
+
+	// printf family: the interceptor walks the format string and validates
+	// only the pointer conversions (%s). Integer-width mismatches and
+	// missing arguments pass through unchecked.
+	wrapPrintf := func(name string, fmtArg int) {
+		inner, ok := base[name]
+		if !ok {
+			return
+		}
+		out[name] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+			fmtStr, _ := m.Mem.CString(uint64(c.Args[fmtArg].I), 1<<16)
+			va := c.VaBase
+			slot := 0
+			for i := 0; i+1 < len(fmtStr); i++ {
+				if fmtStr[i] != '%' {
+					continue
+				}
+				j := i + 1
+				for j < len(fmtStr) && isFmtMod(fmtStr[j]) {
+					j++
+				}
+				if j >= len(fmtStr) {
+					break
+				}
+				conv := fmtStr[j]
+				if conv == '%' {
+					i = j
+					continue
+				}
+				if conv == 's' {
+					addr, _ := m.Mem.Load(va+uint64(8*slot), 8)
+					if addr != 0 {
+						if be := checkStr(m, addr, core.Read); be != nil {
+							be.Func = "asan:" + name
+							return nativevm.Value{}, be
+						}
+					}
+				}
+				slot++ // ints/floats advance the slot but are not checked
+				i = j
+			}
+			return inner(m, c)
+		}
+	}
+	wrapPrintf("printf", 0)
+	wrapPrintf("fprintf", 1)
+
+	return out
+}
+
+func isFmtMod(c byte) bool {
+	switch c {
+	case '-', '+', ' ', '#', '.', '*', 'l', 'h', 'z',
+		'0', '1', '2', '3', '4', '5', '6', '7', '8', '9':
+		return true
+	}
+	return false
+}

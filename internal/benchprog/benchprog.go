@@ -1,0 +1,91 @@
+// Package benchprog bundles the C benchmark programs of the paper's
+// performance evaluation (§4.2–4.3): the Computer Language Benchmarks Game
+// programs plus whetstone, each parameterized by a single size argument so
+// the harness can scale work per engine.
+package benchprog
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed progs
+var progFS embed.FS
+
+// Benchmark describes one benchmark program.
+type Benchmark struct {
+	Name string
+	// Source is the C source text.
+	Source string
+	// SmallArg/DefaultArg size one iteration for tests vs. measurements.
+	SmallArg   string
+	DefaultArg string
+	// AllocHeavy marks allocation-intensive workloads (binarytrees), which
+	// the paper reports separately in §4.3.
+	AllocHeavy bool
+}
+
+var sizes = map[string]struct {
+	small, def string
+	alloc      bool
+}{
+	"nbody":         {"200", "5000", false},
+	"spectralnorm":  {"40", "160", false},
+	"mandelbrot":    {"24", "96", false},
+	"fannkuchredux": {"6", "8", false},
+	"fasta":         {"100", "2000", false},
+	"fastaredux":    {"100", "2000", false},
+	"binarytrees":   {"6", "10", true},
+	"meteor":        {"6", "9", false},
+	"whetstone":     {"5", "60", false},
+}
+
+// All returns every benchmark, sorted by name.
+func All() []Benchmark {
+	entries, err := progFS.ReadDir("progs")
+	if err != nil {
+		panic("benchprog: embedded programs missing: " + err.Error())
+	}
+	var out []Benchmark
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".c")
+		data, err := progFS.ReadFile("progs/" + e.Name())
+		if err != nil {
+			panic("benchprog: " + err.Error())
+		}
+		sz, ok := sizes[name]
+		if !ok {
+			panic(fmt.Sprintf("benchprog: no size entry for %s", name))
+		}
+		out = append(out, Benchmark{
+			Name:       name,
+			Source:     string(data),
+			SmallArg:   sz.small,
+			DefaultArg: sz.def,
+			AllocHeavy: sz.alloc,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns one benchmark by name.
+func Get(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchprog: unknown benchmark %q", name)
+}
+
+// Names lists benchmark names.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package benchprog
+
+import "testing"
+
+func TestAllPresent(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("expected 9 benchmarks, got %d", len(all))
+	}
+	for _, b := range all {
+		if b.Source == "" || b.SmallArg == "" || b.DefaultArg == "" {
+			t.Errorf("%s: incomplete metadata", b.Name)
+		}
+	}
+	if _, err := Get("nbody"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) should fail")
+	}
+	if len(Names()) != 9 {
+		t.Error("Names() size mismatch")
+	}
+}

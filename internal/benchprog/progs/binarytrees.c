@@ -1,0 +1,70 @@
+/* binarytrees — Benchmarks Game: allocate and walk perfect binary trees.
+ * Allocation-intensive: this is the benchmark on which shadow-memory tools
+ * slow down most (paper §4.3). Argument: max depth (default 10). */
+#include <stdio.h>
+#include <stdlib.h>
+
+struct node {
+    struct node *left;
+    struct node *right;
+};
+
+static struct node *bottom_up_tree(int depth) {
+    struct node *n = (struct node *)malloc(sizeof(struct node));
+    if (depth > 0) {
+        n->left = bottom_up_tree(depth - 1);
+        n->right = bottom_up_tree(depth - 1);
+    } else {
+        n->left = NULL;
+        n->right = NULL;
+    }
+    return n;
+}
+
+static int item_check(struct node *n) {
+    if (n->left == NULL) {
+        return 1;
+    }
+    return 1 + item_check(n->left) + item_check(n->right);
+}
+
+static void delete_tree(struct node *n) {
+    if (n->left != NULL) {
+        delete_tree(n->left);
+        delete_tree(n->right);
+    }
+    free(n);
+}
+
+int main(int argc, char **argv) {
+    int maxDepth = 10;
+    int minDepth = 4;
+    int depth;
+    struct node *longLived;
+    if (argc > 1) {
+        maxDepth = atoi(argv[1]);
+    }
+    if (minDepth + 2 > maxDepth) {
+        maxDepth = minDepth + 2;
+    }
+    {
+        struct node *stretch = bottom_up_tree(maxDepth + 1);
+        printf("stretch tree of depth %d\t check: %d\n", maxDepth + 1, item_check(stretch));
+        delete_tree(stretch);
+    }
+    longLived = bottom_up_tree(maxDepth);
+    for (depth = minDepth; depth <= maxDepth; depth += 2) {
+        int iterations = 1 << (maxDepth - depth + minDepth);
+        int check = 0;
+        int i;
+        for (i = 0; i < iterations; i++) {
+            struct node *t = bottom_up_tree(depth);
+            check += item_check(t);
+            delete_tree(t);
+        }
+        printf("%d\t trees of depth %d\t check: %d\n", iterations, depth, check);
+    }
+    printf("long lived tree of depth %d\t check: %d\n", maxDepth, item_check(longLived));
+    delete_tree(longLived);
+    return 0;
+}

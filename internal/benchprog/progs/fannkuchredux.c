@@ -1,0 +1,76 @@
+/* fannkuchredux — Benchmarks Game: pancake flipping over permutations.
+ * Argument: n (default 7). */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define MAXN 12
+
+int main(int argc, char **argv) {
+    int n = 7;
+    int perm[MAXN], perm1[MAXN], count[MAXN];
+    int maxFlips = 0, permCount = 0, checksum = 0;
+    int i, r;
+    if (argc > 1) {
+        n = atoi(argv[1]);
+    }
+    if (n > MAXN) {
+        n = MAXN;
+    }
+    for (i = 0; i < n; i++) {
+        perm1[i] = i;
+    }
+    r = n;
+    for (;;) {
+        while (r != 1) {
+            count[r - 1] = r;
+            r--;
+        }
+        {
+            int flips = 0;
+            int k;
+            for (i = 0; i < n; i++) {
+                perm[i] = perm1[i];
+            }
+            k = perm[0];
+            while (k != 0) {
+                int lo = 0, hi = k;
+                while (lo < hi) {
+                    int t = perm[lo];
+                    perm[lo] = perm[hi];
+                    perm[hi] = t;
+                    lo++;
+                    hi--;
+                }
+                flips++;
+                k = perm[0];
+            }
+            if (flips > maxFlips) {
+                maxFlips = flips;
+            }
+            if (permCount % 2 == 0) {
+                checksum += flips;
+            } else {
+                checksum -= flips;
+            }
+        }
+        for (;;) {
+            int first;
+            if (r == n) {
+                printf("%d\n", checksum);
+                printf("Pfannkuchen(%d) = %d\n", n, maxFlips);
+                return 0;
+            }
+            first = perm1[0];
+            for (i = 0; i < r; i++) {
+                perm1[i] = perm1[i + 1];
+            }
+            perm1[r] = first;
+            count[r] = count[r] - 1;
+            if (count[r] > 0) {
+                break;
+            }
+            r++;
+        }
+        permCount++;
+    }
+}

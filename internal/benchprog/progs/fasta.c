@@ -1,0 +1,112 @@
+/* fasta — Benchmarks Game: generate DNA sequences with a weighted random
+ * selection. Argument: n (default 300). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define LINE_LEN 60
+#define IM 139968
+#define IA 3877
+#define IC 29573
+
+static long rand_seed = 42;
+
+static double gen_random(double max) {
+    rand_seed = (rand_seed * IA + IC) % IM;
+    return max * rand_seed / IM;
+}
+
+struct aminoacid {
+    char c;
+    double p;
+};
+
+static struct aminoacid iub[] = {
+    {'a', 0.27}, {'c', 0.12}, {'g', 0.12}, {'t', 0.27},
+    {'B', 0.02}, {'D', 0.02}, {'H', 0.02}, {'K', 0.02},
+    {'M', 0.02}, {'N', 0.02}, {'R', 0.02}, {'S', 0.02},
+    {'V', 0.02}, {'W', 0.02}, {'Y', 0.02},
+};
+
+static struct aminoacid homosapiens[] = {
+    {'a', 0.3029549426680}, {'c', 0.1979883004921},
+    {'g', 0.1975473066391}, {'t', 0.3015094502008},
+};
+
+static const char *alu =
+    "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA"
+    "TCACCTGAGGTCAGGAGTTCGAGACCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACT"
+    "AAAAATACAAAAATTAGCCGGGCGTGGTGGCGCGCGCCTGTAATCCCAGCTACTCGGGAG"
+    "GCTGAGGCAGGAGAATCGCTTGAACCCGGGAGGCGGAGGTTGCAGTGAGCCGAGATCGCG"
+    "CCACTGCACTCCAGCCTGGGCGACAGAGCGAGACTCCGTCTCAAAAA";
+
+static void make_cumulative(struct aminoacid *table, int count) {
+    double cp = 0.0;
+    int i;
+    for (i = 0; i < count; i++) {
+        cp += table[i].p;
+        table[i].p = cp;
+    }
+}
+
+static char select_random(struct aminoacid *table, int count) {
+    double r = gen_random(1.0);
+    int i;
+    for (i = 0; i < count - 1; i++) {
+        if (r < table[i].p) {
+            return table[i].c;
+        }
+    }
+    return table[count - 1].c;
+}
+
+static void make_random_fasta(const char *id, struct aminoacid *table,
+                              int count, int n) {
+    int todo = n;
+    char line[LINE_LEN + 1];
+    printf(">%s\n", id);
+    while (todo > 0) {
+        int m = todo < LINE_LEN ? todo : LINE_LEN;
+        int i;
+        for (i = 0; i < m; i++) {
+            line[i] = select_random(table, count);
+        }
+        line[m] = '\0';
+        puts(line);
+        todo -= m;
+    }
+}
+
+static void make_repeat_fasta(const char *id, const char *s, int n) {
+    int todo = n;
+    int k = 0;
+    int kn = (int)strlen(s);
+    char line[LINE_LEN + 1];
+    printf(">%s\n", id);
+    while (todo > 0) {
+        int m = todo < LINE_LEN ? todo : LINE_LEN;
+        int i;
+        for (i = 0; i < m; i++) {
+            if (k == kn) {
+                k = 0;
+            }
+            line[i] = s[k++];
+        }
+        line[m] = '\0';
+        puts(line);
+        todo -= m;
+    }
+}
+
+int main(int argc, char **argv) {
+    int n = 300;
+    if (argc > 1) {
+        n = atoi(argv[1]);
+    }
+    make_cumulative(iub, 15);
+    make_cumulative(homosapiens, 4);
+    make_repeat_fasta("ONE Homo sapiens alu", alu, n * 2);
+    make_random_fasta("TWO IUB ambiguity codes", iub, 15, n * 3);
+    make_random_fasta("THREE Homo sapiens frequency", homosapiens, 4, n * 5);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/* fastaredux — Benchmarks Game: fasta with a precomputed lookup table.
+ *
+ * This is the benchmark in which the paper's authors found (and fixed) a
+ * real out-of-bounds loop: accumulated probabilities fell short of 1.0 due
+ * to float rounding, so the lookup could run past the table. This version
+ * includes their fix (the last slot is forced to cover the remainder).
+ * Argument: n (default 300). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define LINE_LEN 60
+#define LOOKUP_SIZE 4096
+#define IM 139968
+#define IA 3877
+#define IC 29573
+
+static long rand_seed = 42;
+
+static double gen_random(void) {
+    rand_seed = (rand_seed * IA + IC) % IM;
+    return (double)rand_seed / IM;
+}
+
+struct acid {
+    char c;
+    double p;
+};
+
+static struct acid iub[] = {
+    {'a', 0.27}, {'c', 0.12}, {'g', 0.12}, {'t', 0.27},
+    {'B', 0.02}, {'D', 0.02}, {'H', 0.02}, {'K', 0.02},
+    {'M', 0.02}, {'N', 0.02}, {'R', 0.02}, {'S', 0.02},
+    {'V', 0.02}, {'W', 0.02}, {'Y', 0.02},
+};
+
+static char lookup[LOOKUP_SIZE];
+
+static void build_lookup(struct acid *table, int count) {
+    int i, j = 0;
+    double cp = 0.0;
+    for (i = 0; i < count; i++) {
+        int upto;
+        cp += table[i].p;
+        upto = (int)(cp * LOOKUP_SIZE);
+        /* Fix for the rounding bug: the final acid fills the table. */
+        if (i == count - 1) {
+            upto = LOOKUP_SIZE;
+        }
+        while (j < upto) {
+            lookup[j++] = table[i].c;
+        }
+    }
+}
+
+int main(int argc, char **argv) {
+    int n = 300;
+    int todo;
+    char line[LINE_LEN + 1];
+    if (argc > 1) {
+        n = atoi(argv[1]);
+    }
+    build_lookup(iub, 15);
+    printf(">TWO IUB ambiguity codes\n");
+    todo = n * 3;
+    while (todo > 0) {
+        int m = todo < LINE_LEN ? todo : LINE_LEN;
+        int i;
+        for (i = 0; i < m; i++) {
+            int idx = (int)(gen_random() * LOOKUP_SIZE);
+            line[i] = lookup[idx];
+        }
+        line[m] = '\0';
+        puts(line);
+        todo -= m;
+    }
+    return 0;
+}

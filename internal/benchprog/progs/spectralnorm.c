@@ -1,0 +1,65 @@
+/* spectralnorm — Benchmarks Game: spectral norm of an infinite matrix.
+ * Argument: matrix size (default 100). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+static double eval_A(int i, int j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+
+static void eval_A_times_u(int n, const double *u, double *Au) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        double s = 0.0;
+        for (j = 0; j < n; j++) {
+            s += eval_A(i, j) * u[j];
+        }
+        Au[i] = s;
+    }
+}
+
+static void eval_At_times_u(int n, const double *u, double *Au) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        double s = 0.0;
+        for (j = 0; j < n; j++) {
+            s += eval_A(j, i) * u[j];
+        }
+        Au[i] = s;
+    }
+}
+
+static void eval_AtA_times_u(int n, const double *u, double *AtAu, double *tmp) {
+    eval_A_times_u(n, u, tmp);
+    eval_At_times_u(n, tmp, AtAu);
+}
+
+int main(int argc, char **argv) {
+    int n = 100;
+    int i;
+    double *u, *v, *tmp;
+    double vBv = 0.0, vv = 0.0;
+    if (argc > 1) {
+        n = atoi(argv[1]);
+    }
+    u = (double *)malloc(n * sizeof(double));
+    v = (double *)malloc(n * sizeof(double));
+    tmp = (double *)malloc(n * sizeof(double));
+    for (i = 0; i < n; i++) {
+        u[i] = 1.0;
+    }
+    for (i = 0; i < 10; i++) {
+        eval_AtA_times_u(n, u, v, tmp);
+        eval_AtA_times_u(n, v, u, tmp);
+    }
+    for (i = 0; i < n; i++) {
+        vBv += u[i] * v[i];
+        vv += v[i] * v[i];
+    }
+    printf("%.9f\n", sqrt(vBv / vv));
+    free(u);
+    free(v);
+    free(tmp);
+    return 0;
+}

@@ -1,0 +1,142 @@
+/* whetstone — the classic synthetic floating-point benchmark (Curnow &
+ * Wichmann), following the structure of the netlib C version the paper
+ * cites: eight modules exercising array arithmetic, procedure calls,
+ * trigonometry, and transcendental functions.
+ * Argument: loop count (default 50). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+static double t = 0.499975;
+static double t1 = 0.50025;
+static double t2 = 2.0;
+static double e1[5];
+
+static void pa(double *e) {
+    int j;
+    for (j = 0; j < 6; j++) {
+        e[1] = (e[1] + e[2] + e[3] - e[4]) * t;
+        e[2] = (e[1] + e[2] - e[3] + e[4]) * t;
+        e[3] = (e[1] - e[2] + e[3] + e[4]) * t;
+        e[4] = (-e[1] + e[2] + e[3] + e[4]) / t2;
+    }
+}
+
+static void p3(double x, double y, double *z) {
+    double x1 = x;
+    double y1 = y;
+    x1 = t * (x1 + y1);
+    y1 = t * (x1 + y1);
+    *z = (x1 + y1) / t2;
+}
+
+static void p0(int *j, int *k, int *l) {
+    e1[*j] = e1[*k];
+    e1[*k] = e1[*l];
+    e1[*l] = e1[*j];
+}
+
+int main(int argc, char **argv) {
+    int loop = 50;
+    int n1, n2, n3, n4, n6, n7, n8;
+    int i, ix, j, k, l;
+    double x, y, z, x1, x2, x3, x4;
+    if (argc > 1) {
+        loop = atoi(argv[1]);
+    }
+    n1 = 0;
+    n2 = 12 * loop;
+    n3 = 14 * loop;
+    n4 = 345 * loop;
+    n6 = 210 * loop;
+    n7 = 32 * loop;
+    n8 = 899 * loop;
+
+    /* Module 1: simple identifiers */
+    x1 = 1.0;
+    x2 = -1.0;
+    x3 = -1.0;
+    x4 = -1.0;
+    for (i = 0; i < n1; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+
+    /* Module 2: array elements */
+    e1[1] = 1.0;
+    e1[2] = -1.0;
+    e1[3] = -1.0;
+    e1[4] = -1.0;
+    for (i = 0; i < n2; i++) {
+        e1[1] = (e1[1] + e1[2] + e1[3] - e1[4]) * t;
+        e1[2] = (e1[1] + e1[2] - e1[3] + e1[4]) * t;
+        e1[3] = (e1[1] - e1[2] + e1[3] + e1[4]) * t;
+        e1[4] = (-e1[1] + e1[2] + e1[3] + e1[4]) * t;
+    }
+
+    /* Module 3: array as parameter */
+    for (i = 0; i < n3; i++) {
+        pa(e1);
+    }
+
+    /* Module 4: conditional jumps */
+    j = 1;
+    for (i = 0; i < n4; i++) {
+        if (j == 1) {
+            j = 2;
+        } else {
+            j = 3;
+        }
+        if (j > 2) {
+            j = 0;
+        } else {
+            j = 1;
+        }
+        if (j < 1) {
+            j = 1;
+        } else {
+            j = 0;
+        }
+    }
+
+    /* Module 6: integer arithmetic */
+    j = 1;
+    k = 2;
+    l = 3;
+    for (i = 0; i < n6; i++) {
+        j = j * (k - j) * (l - k);
+        k = l * k - (l - j) * k;
+        l = (l - k) * (k + j);
+        e1[l - 2] = j + k + l;
+        e1[k - 2] = j * k * l;
+    }
+
+    /* Module 7: trigonometric functions */
+    x = 0.5;
+    y = 0.5;
+    for (i = 0; i < n7; i++) {
+        x = t * atan(t2 * sin(x) * cos(x) / (cos(x + y) + cos(x - y) - 1.0));
+        y = t * atan(t2 * sin(y) * cos(y) / (cos(x + y) + cos(x - y) - 1.0));
+    }
+
+    /* Module 8: procedure calls */
+    x = 1.0;
+    y = 1.0;
+    z = 1.0;
+    for (i = 0; i < n8; i++) {
+        p3(x, y, &z);
+    }
+
+    /* Module 10-ish: standard functions */
+    x = 0.75;
+    for (i = 0; i < n7; i++) {
+        x = sqrt(exp(log(x) / t1));
+    }
+
+    ix = j + k + l;
+    p0(&j, &k, &l);
+    printf("whetstone done ix=%d x=%.6f z=%.6f\n", ix, x, z);
+    return 0;
+}

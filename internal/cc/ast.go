@@ -1,0 +1,243 @@
+package cc
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	File string
+	Line int
+}
+
+// Expr is a C expression node.
+type Expr interface{ exprNode() }
+
+// Ident names a variable, function, or enum constant.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	V        int64
+	Unsigned bool
+	Long     bool
+	Pos      Pos
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	V      float64
+	Single bool // 'f' suffix
+	Pos    Pos
+}
+
+// StrLit is a string literal (already concatenated and unescaped, no NUL).
+type StrLit struct {
+	S   string
+	Pos Pos
+}
+
+// Unary is a prefix or postfix unary operation.
+// Ops: "&" "*" "-" "+" "!" "~" "++" "--" (Postfix for x++/x--).
+type Unary struct {
+	Op      string
+	X       Expr
+	Postfix bool
+	Pos     Pos
+}
+
+// Binary is a binary operation (arithmetic, comparison, logical, comma).
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Pos  Pos
+}
+
+// Assign is "=", or a compound assignment such as "+=".
+type Assign struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// Cond is the ternary operator c ? t : f.
+type Cond struct {
+	C, T, F Expr
+	Pos     Pos
+}
+
+// Call is a function call.
+type Call struct {
+	Fn   Expr
+	Args []Expr
+	Pos  Pos
+}
+
+// Index is array subscripting x[i].
+type Index struct {
+	X, I Expr
+	Pos  Pos
+}
+
+// Member is x.name or x->name.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Pos   Pos
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	Ty  *CType
+	X   Expr
+	Pos Pos
+}
+
+// SizeofExpr is sizeof(x) or sizeof(type); exactly one of X, Ty is set.
+type SizeofExpr struct {
+	X   Expr
+	Ty  *CType
+	Pos Pos
+}
+
+// InitList is a brace initializer { a, b, ... }.
+type InitList struct {
+	Items []Expr
+	Pos   Pos
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*CastExpr) exprNode()   {}
+func (*SizeofExpr) exprNode() {}
+func (*InitList) exprNode()   {}
+
+// Stmt is a C statement node.
+type Stmt interface{ stmtNode() }
+
+// ExprStmt is an expression statement; X may be nil for ";".
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	Decls []*VarDecl
+	Pos   Pos
+}
+
+// Block is a compound statement.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// If is if/else.
+type If struct {
+	Cond       Expr
+	Then, Else Stmt
+	Pos        Pos
+}
+
+// While covers while and do/while.
+type While struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+	Pos     Pos
+}
+
+// For is a for loop; Init, Cond, Post may be nil.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// Return returns from the function; X may be nil.
+type Return struct {
+	X   Expr
+	Pos Pos
+}
+
+// Break and Continue exit or restart the innermost loop/switch.
+type Break struct{ Pos Pos }
+type Continue struct{ Pos Pos }
+
+// Switch is a switch statement; Body contains Case labels inline.
+type Switch struct {
+	X    Expr
+	Body *Block
+	Pos  Pos
+}
+
+// Case is a case/default label appearing inside a switch body.
+type Case struct {
+	V         Expr // nil for default
+	IsDefault bool
+	Pos       Pos
+}
+
+// Label is a goto target.
+type Label struct {
+	Name string
+	Pos  Pos
+}
+
+// Goto jumps to a label in the same function.
+type Goto struct {
+	Name string
+	Pos  Pos
+}
+
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Switch) stmtNode()   {}
+func (*Case) stmtNode()     {}
+func (*Label) stmtNode()    {}
+func (*Goto) stmtNode()     {}
+
+// VarDecl is a variable declaration (local or global).
+type VarDecl struct {
+	Name   string
+	Ty     *CType
+	Init   Expr // may be *InitList
+	Static bool
+	Extern bool
+	Const  bool
+	Pos    Pos
+}
+
+// FuncDecl is a function declaration or definition.
+type FuncDecl struct {
+	Name   string
+	Sig    *CFuncInfo
+	Body   *Block // nil for prototypes
+	Static bool
+	Pos    Pos
+}
+
+// Program is a parsed translation unit; Decls holds *VarDecl and *FuncDecl
+// in source order.
+type Program struct {
+	Decls []any
+}

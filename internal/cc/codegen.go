@@ -1,0 +1,410 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Options configures compilation.
+//
+// The front end never optimizes: even the backend constant-global folding
+// the paper caught Clang doing at -O0 (Fig. 13) lives in internal/opt, so
+// the managed engine always sees the program's original accesses.
+type Options struct {
+	// Predefined adds extra predefined macros (name -> replacement).
+	Predefined map[string]string
+}
+
+// Compile preprocesses, parses, and lowers one C file to an SIR module.
+// files maps include names to contents and must contain mainFile.
+func Compile(mainFile string, files map[string]string, opts Options) (*ir.Module, error) {
+	predef := map[string]string{
+		"__SULONG__": "1",
+		"NULL":       "((void*)0)",
+	}
+	for k, v := range opts.Predefined {
+		predef[k] = v
+	}
+	toks, err := Preprocess(mainFile, files, predef)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ParseProgram(toks)
+	if err != nil {
+		return nil, err
+	}
+	cg := newCodegen(mainFile)
+	if err := cg.program(prog); err != nil {
+		return nil, err
+	}
+	collectStructs(cg.m)
+	if err := ir.Verify(cg.m); err != nil {
+		return nil, fmt.Errorf("cc: internal error: generated invalid IR: %w", err)
+	}
+	return cg.m, nil
+}
+
+// codegen lowers a Program to an ir.Module.
+type codegen struct {
+	m       *ir.Module
+	globals map[string]*CType // global variables
+	funcs   map[string]*CFuncInfo
+	strIdx  int
+	file    string
+	anonIdx int
+}
+
+func newCodegen(file string) *codegen {
+	return &codegen{
+		m:       ir.NewModule(file),
+		globals: map[string]*CType{},
+		funcs:   map[string]*CFuncInfo{},
+		file:    file,
+	}
+}
+
+func (cg *codegen) errAt(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", pos.File, pos.Line, fmt.Sprintf(format, args...))
+}
+
+func (cg *codegen) program(prog *Program) error {
+	// Pass 1: declare all functions and globals so forward references work.
+	for _, d := range prog.Decls {
+		switch decl := d.(type) {
+		case *FuncDecl:
+			cg.funcs[decl.Name] = decl.Sig
+			if cg.m.Func(decl.Name) == nil {
+				cg.m.AddFunc(&ir.Func{Name: decl.Name, Sig: sigIR(decl.Sig), IsDecl: true})
+			}
+		case *VarDecl:
+			if decl.Ty.Kind == CFunc {
+				cg.funcs[decl.Name] = decl.Ty.Fn
+				continue
+			}
+			if _, exists := cg.globals[decl.Name]; !exists {
+				cg.globals[decl.Name] = decl.Ty
+			}
+		}
+	}
+	// Pass 2: emit globals (with initializers) and function bodies.
+	for _, d := range prog.Decls {
+		switch decl := d.(type) {
+		case *VarDecl:
+			if decl.Ty.Kind == CFunc || decl.Extern && decl.Init == nil {
+				continue
+			}
+			if err := cg.globalVar(decl); err != nil {
+				return err
+			}
+		case *FuncDecl:
+			if decl.Body == nil {
+				continue
+			}
+			if err := cg.function(decl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sigIR(sig *CFuncInfo) *ir.FuncType {
+	ft := &ir.FuncType{Ret: sig.Ret.IR(), Variadic: sig.Variadic}
+	for _, pt := range sig.Params {
+		ft.Params = append(ft.Params, pt.Decay().IR())
+	}
+	return ft
+}
+
+func (cg *codegen) globalVar(vd *VarDecl) error {
+	if cg.m.Global(vd.Name) != nil {
+		return nil // tentative redefinition
+	}
+	cg.globals[vd.Name] = vd.Ty
+	g := &ir.Global{Name: vd.Name, Ty: vd.Ty.IR(), IsConst: vd.Const}
+	if vd.Init != nil {
+		c, err := cg.constInit(vd.Init, vd.Ty)
+		if err != nil {
+			return err
+		}
+		g.Init = c
+	}
+	return cg.m.AddGlobal(g)
+}
+
+// internString creates (or reuses) an anonymous const global for a string
+// literal and returns its name.
+func (cg *codegen) internString(s string) string {
+	data := append([]byte(s), 0)
+	name := fmt.Sprintf(".str.%d", cg.strIdx)
+	cg.strIdx++
+	g := &ir.Global{
+		Name:    name,
+		Ty:      &ir.ArrayType{Elem: ir.I8, Len: int64(len(data))},
+		Init:    ir.ConstBytes{Data: data},
+		IsConst: true,
+	}
+	if err := cg.m.AddGlobal(g); err != nil {
+		panic("cc: string intern collision: " + err.Error())
+	}
+	return name
+}
+
+// constInit folds a global initializer into an ir.Const.
+func (cg *codegen) constInit(e Expr, ty *CType) (ir.Const, error) {
+	switch v := e.(type) {
+	case *InitList:
+		switch ty.Kind {
+		case CArray:
+			var elems []ir.Const
+			for _, item := range v.Items {
+				c, err := cg.constInit(item, ty.Elem)
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, c)
+			}
+			return ir.ConstArrayVal{Ty: ty.IR().(*ir.ArrayType), Elems: elems}, nil
+		case CStruct:
+			var fields []ir.Const
+			for i, item := range v.Items {
+				if i >= len(ty.Struct.Fields) {
+					return nil, cg.errAt(v.Pos, "too many initializers for %s", ty)
+				}
+				c, err := cg.constInit(item, ty.Struct.Fields[i].Ty)
+				if err != nil {
+					return nil, err
+				}
+				fields = append(fields, c)
+			}
+			return ir.ConstStructVal{Ty: ty.IR().(*ir.StructType), Fields: fields}, nil
+		default:
+			if len(v.Items) == 1 {
+				return cg.constInit(v.Items[0], ty)
+			}
+			return nil, cg.errAt(v.Pos, "invalid brace initializer for %s", ty)
+		}
+	case *StrLit:
+		if ty.Kind == CArray {
+			data := append([]byte(v.S), 0)
+			if ty.Len >= 0 && int64(len(data)) > ty.Len {
+				// `char t[2] = "ab"` drops the NUL — standard C, and the
+				// source of several corpus bugs.
+				data = data[:ty.Len]
+			}
+			return ir.ConstBytes{Data: data}, nil
+		}
+		return ir.ConstGlobalRef{Sym: cg.internString(v.S)}, nil
+	}
+	// Scalar constant expression.
+	cv, err := cg.evalConstExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cv.isFloat && ty.Kind == CFloat:
+		return ir.ConstFloatVal{Ty: ty.IR(), V: cv.f}, nil
+	case cv.isFloat && ty.Kind == CInt:
+		return ir.ConstIntVal{Ty: ty.IR(), V: int64(cv.f)}, nil
+	case cv.sym != "":
+		if cv.isFunc {
+			return ir.ConstFuncRef{Sym: cv.sym}, nil
+		}
+		return ir.ConstGlobalRef{Sym: cv.sym, Off: cv.i}, nil
+	case ty.Kind == CFloat:
+		return ir.ConstFloatVal{Ty: ty.IR(), V: float64(cv.i)}, nil
+	default:
+		return ir.ConstIntVal{Ty: ty.IR(), V: truncToBits(cv.i, bitsOf(ty), isUnsigned(ty))}, nil
+	}
+}
+
+func bitsOf(ty *CType) int {
+	if ty.Kind == CInt {
+		return ty.Bits
+	}
+	return 64
+}
+
+func isUnsigned(ty *CType) bool { return ty.Kind == CInt && ty.Unsigned || ty.Kind == CPtr }
+
+// constVal is a folded compile-time value.
+type constVal struct {
+	i       int64
+	f       float64
+	isFloat bool
+	sym     string // address of global (+i as offset) or function
+	isFunc  bool
+}
+
+// evalConstExpr folds initializer expressions: literals, arithmetic, sizeof,
+// casts, &global, string literals, and global array designators.
+func (cg *codegen) evalConstExpr(e Expr) (constVal, error) {
+	switch v := e.(type) {
+	case *IntLit:
+		return constVal{i: v.V}, nil
+	case *FloatLit:
+		return constVal{f: v.V, isFloat: true}, nil
+	case *StrLit:
+		return constVal{sym: cg.internString(v.S)}, nil
+	case *SizeofExpr:
+		if v.Ty != nil {
+			return constVal{i: v.Ty.Size()}, nil
+		}
+		return constVal{}, cg.errAt(v.Pos, "sizeof(expr) not supported in global initializers")
+	case *Ident:
+		if ty, ok := cg.globals[v.Name]; ok && ty.Kind == CArray {
+			return constVal{sym: v.Name}, nil // array decays to its address
+		}
+		if _, ok := cg.funcs[v.Name]; ok {
+			return constVal{sym: v.Name, isFunc: true}, nil
+		}
+		return constVal{}, cg.errAt(v.Pos, "initializer element %q is not constant", v.Name)
+	case *Unary:
+		if v.Op == "&" {
+			switch x := v.X.(type) {
+			case *Ident:
+				if _, ok := cg.globals[x.Name]; ok {
+					return constVal{sym: x.Name}, nil
+				}
+				if _, ok := cg.funcs[x.Name]; ok {
+					return constVal{sym: x.Name, isFunc: true}, nil
+				}
+			case *Index:
+				base, err := cg.evalConstExpr(&Unary{Op: "&", X: x.X, Pos: v.Pos})
+				if err != nil {
+					return constVal{}, err
+				}
+				idx, err := cg.evalConstExpr(x.I)
+				if err != nil {
+					return constVal{}, err
+				}
+				if ty, ok := cg.globals[base.sym]; ok && ty.Kind == CArray {
+					base.i += idx.i * ty.Elem.Size()
+					return base, nil
+				}
+			}
+			return constVal{}, cg.errAt(v.Pos, "cannot take constant address")
+		}
+		x, err := cg.evalConstExpr(v.X)
+		if err != nil {
+			return constVal{}, err
+		}
+		switch v.Op {
+		case "-":
+			if x.isFloat {
+				return constVal{f: -x.f, isFloat: true}, nil
+			}
+			return constVal{i: -x.i}, nil
+		case "+":
+			return x, nil
+		case "~":
+			return constVal{i: ^x.i}, nil
+		case "!":
+			return constVal{i: b2i(x.i == 0 && x.f == 0)}, nil
+		}
+	case *Binary:
+		x, err := cg.evalConstExpr(v.X)
+		if err != nil {
+			return constVal{}, err
+		}
+		y, err := cg.evalConstExpr(v.Y)
+		if err != nil {
+			return constVal{}, err
+		}
+		if x.isFloat || y.isFloat {
+			xf, yf := x.f, y.f
+			if !x.isFloat {
+				xf = float64(x.i)
+			}
+			if !y.isFloat {
+				yf = float64(y.i)
+			}
+			switch v.Op {
+			case "+":
+				return constVal{f: xf + yf, isFloat: true}, nil
+			case "-":
+				return constVal{f: xf - yf, isFloat: true}, nil
+			case "*":
+				return constVal{f: xf * yf, isFloat: true}, nil
+			case "/":
+				return constVal{f: xf / yf, isFloat: true}, nil
+			}
+			return constVal{}, cg.errAt(v.Pos, "bad constant float op %q", v.Op)
+		}
+		p := &Parser{enums: map[string]int64{}}
+		r, err := p.evalConst(&Binary{Op: v.Op, X: &IntLit{V: x.i}, Y: &IntLit{V: y.i}})
+		if err != nil {
+			return constVal{}, err
+		}
+		if x.sym != "" { // pointer arithmetic on a global address
+			return constVal{sym: x.sym, i: r}, nil
+		}
+		return constVal{i: r}, nil
+	case *CastExpr:
+		x, err := cg.evalConstExpr(v.X)
+		if err != nil {
+			return constVal{}, err
+		}
+		if v.Ty.Kind == CInt && x.isFloat {
+			return constVal{i: int64(x.f)}, nil
+		}
+		if v.Ty.Kind == CFloat && !x.isFloat {
+			return constVal{f: float64(x.i), isFloat: true}, nil
+		}
+		return x, nil
+	}
+	return constVal{}, fmt.Errorf("cc: initializer expression is not constant")
+}
+
+// collectStructs registers every named struct type reachable from the
+// module's globals and instructions, so the printed SIR is self-contained
+// and re-parses (the textual format declares structs up front).
+func collectStructs(m *ir.Module) {
+	seen := map[*ir.StructType]bool{}
+	var walk func(t ir.Type)
+	walk = func(t ir.Type) {
+		switch v := t.(type) {
+		case *ir.StructType:
+			if v == nil || seen[v] {
+				return
+			}
+			seen[v] = true
+			if v.Name != "" {
+				m.Structs[v.Name] = v
+			}
+			for _, f := range v.Fields {
+				walk(f.Ty)
+			}
+		case *ir.ArrayType:
+			walk(v.Elem)
+		case *ir.PtrType:
+			if v.Elem != nil {
+				walk(v.Elem)
+			}
+		case *ir.FuncType:
+			walk(v.Ret)
+			for _, p := range v.Params {
+				walk(p)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		walk(g.Ty)
+	}
+	for _, f := range m.Funcs {
+		if f.Sig != nil {
+			walk(f.Sig)
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Ty != nil {
+					walk(b.Instrs[i].Ty)
+				}
+				if b.Instrs[i].Ty2 != nil {
+					walk(b.Instrs[i].Ty2)
+				}
+			}
+		}
+	}
+}

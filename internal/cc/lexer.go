@@ -1,0 +1,355 @@
+// Package cc is a self-contained C front end: preprocessor, parser, semantic
+// analysis, and SIR code generation. It plays the role Clang -O0 plays in the
+// paper: it lowers C to IR without optimizing, so that source-level memory
+// errors survive into the IR where the engines can observe them.
+//
+// The supported language is the C89/C99 subset exercised by the paper's
+// corpus and benchmarks: all scalar types, pointers, arrays, structs, enums,
+// typedefs, function pointers, variadic functions, string literals, the full
+// expression and statement grammar (including switch, do/while, and the
+// conditional operator), and a textual preprocessor with object- and
+// function-like macros and conditional compilation.
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokPunct
+	TokNewline // only visible to the preprocessor
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier, keyword, punctuator, or raw literal text
+	Int  int64
+	Flt  float64
+	Str  string // decoded string-literal contents (without quotes)
+	File string
+	Line int
+	// Adj is true when this token starts immediately after the previous
+	// token, with no intervening whitespace (the preprocessor needs this to
+	// distinguish function-like from object-like macro definitions).
+	Adj bool
+
+	// Unsigned/long suffix info for integer literals ("u", "l", "ul", ...).
+	Unsigned bool
+	Long     bool
+
+	noExpand map[string]bool // macros not to re-expand (recursion guard)
+}
+
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true, "else": true,
+	"enum": true, "extern": true, "float": true, "for": true, "goto": true,
+	"if": true, "int": true, "long": true, "register": true, "return": true,
+	"short": true, "signed": true, "sizeof": true, "static": true,
+	"struct": true, "switch": true, "typedef": true, "union": true,
+	"unsigned": true, "void": true, "volatile": true, "while": true,
+	"inline": true,
+}
+
+// threeCharPuncts and twoCharPuncts are matched longest-first.
+var threeCharPuncts = []string{"<<=", ">>=", "..."}
+
+var twoCharPuncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "##",
+}
+
+// Lex tokenizes one source file. Newlines are preserved as TokNewline tokens
+// because the preprocessor is line-oriented; the parser skips them.
+func Lex(file, src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	adjacent := false
+	emit := func(t Token) {
+		t.File = file
+		t.Line = line
+		t.Adj = adjacent
+		toks = append(toks, t)
+		adjacent = true
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			adjacent = false
+			emit(Token{Kind: TokNewline})
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			adjacent = false
+			i++
+		case c == '\\' && i+1 < n && src[i+1] == '\n':
+			// line continuation
+			adjacent = false
+			line++
+			i += 2
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			adjacent = false
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			adjacent = false
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("%s:%d: unterminated block comment", file, line)
+			}
+			i += 2
+		case isAlpha(c):
+			start := i
+			for i < n && (isAlpha(src[i]) || isDigit(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			if keywords[word] {
+				emit(Token{Kind: TokKeyword, Text: word})
+			} else {
+				emit(Token{Kind: TokIdent, Text: word})
+			}
+		case isDigit(c) || c == '.' && i+1 < n && isDigit(src[i+1]):
+			t, ni, err := lexNumber(src, i)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", file, line, err)
+			}
+			i = ni
+			emit(t)
+		case c == '"':
+			var sb strings.Builder
+			i++
+			for i < n && src[i] != '"' {
+				ch, ni, err := lexEscape(src, i)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", file, line, err)
+				}
+				sb.WriteByte(ch)
+				i = ni
+			}
+			if i >= n {
+				return nil, fmt.Errorf("%s:%d: unterminated string literal", file, line)
+			}
+			i++
+			emit(Token{Kind: TokStrLit, Str: sb.String()})
+		case c == '\'':
+			i++
+			if i >= n {
+				return nil, fmt.Errorf("%s:%d: unterminated char literal", file, line)
+			}
+			ch, ni, err := lexEscape(src, i)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", file, line, err)
+			}
+			i = ni
+			if i >= n || src[i] != '\'' {
+				return nil, fmt.Errorf("%s:%d: unterminated char literal", file, line)
+			}
+			i++
+			emit(Token{Kind: TokCharLit, Int: int64(ch)})
+		default:
+			matched := false
+			for _, p := range threeCharPuncts {
+				if strings.HasPrefix(src[i:], p) {
+					emit(Token{Kind: TokPunct, Text: p})
+					i += 3
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			for _, p := range twoCharPuncts {
+				if strings.HasPrefix(src[i:], p) {
+					emit(Token{Kind: TokPunct, Text: p})
+					i += 2
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%&|^~!<>=?:;,.(){}[]#", rune(c)) {
+				emit(Token{Kind: TokPunct, Text: string(c)})
+				i++
+			} else {
+				return nil, fmt.Errorf("%s:%d: unexpected character %q", file, line, c)
+			}
+		}
+	}
+	emit(Token{Kind: TokEOF})
+	return toks, nil
+}
+
+func lexNumber(src string, i int) (Token, int, error) {
+	n := len(src)
+	start := i
+	isFloat := false
+	if src[i] == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+		i += 2
+		for i < n && isHex(src[i]) {
+			i++
+		}
+		var v uint64
+		for _, c := range []byte(src[start+2 : i]) {
+			v = v*16 + uint64(hexVal(c))
+		}
+		t := Token{Kind: TokIntLit, Int: int64(v)}
+		i = lexIntSuffix(src, i, &t)
+		return t, i, nil
+	}
+	for i < n && isDigit(src[i]) {
+		i++
+	}
+	if i < n && src[i] == '.' {
+		isFloat = true
+		i++
+		for i < n && isDigit(src[i]) {
+			i++
+		}
+	}
+	if i < n && (src[i] == 'e' || src[i] == 'E') {
+		isFloat = true
+		i++
+		if i < n && (src[i] == '+' || src[i] == '-') {
+			i++
+		}
+		for i < n && isDigit(src[i]) {
+			i++
+		}
+	}
+	text := src[start:i]
+	if isFloat {
+		var v float64
+		if _, err := fmt.Sscanf(text, "%g", &v); err != nil {
+			return Token{}, i, fmt.Errorf("bad float literal %q", text)
+		}
+		if i < n && (src[i] == 'f' || src[i] == 'F' || src[i] == 'l' || src[i] == 'L') {
+			i++
+		}
+		return Token{Kind: TokFloatLit, Flt: v, Text: text}, i, nil
+	}
+	var v uint64
+	if strings.HasPrefix(text, "0") && len(text) > 1 {
+		for _, c := range []byte(text[1:]) { // octal
+			v = v*8 + uint64(c-'0')
+		}
+	} else {
+		for _, c := range []byte(text) {
+			v = v*10 + uint64(c-'0')
+		}
+	}
+	t := Token{Kind: TokIntLit, Int: int64(v), Text: text}
+	i = lexIntSuffix(src, i, &t)
+	return t, i, nil
+}
+
+func lexIntSuffix(src string, i int, t *Token) int {
+	for i < len(src) {
+		switch src[i] {
+		case 'u', 'U':
+			t.Unsigned = true
+			i++
+		case 'l', 'L':
+			t.Long = true
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+func lexEscape(src string, i int) (byte, int, error) {
+	if src[i] != '\\' {
+		return src[i], i + 1, nil
+	}
+	i++
+	if i >= len(src) {
+		return 0, i, fmt.Errorf("dangling backslash")
+	}
+	c := src[i]
+	i++
+	switch c {
+	case 'n':
+		return '\n', i, nil
+	case 't':
+		return '\t', i, nil
+	case 'r':
+		return '\r', i, nil
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		v := int(c - '0')
+		for k := 0; k < 2 && i < len(src) && src[i] >= '0' && src[i] <= '7'; k++ {
+			v = v*8 + int(src[i]-'0')
+			i++
+		}
+		return byte(v), i, nil
+	case 'x':
+		v := 0
+		for i < len(src) && isHex(src[i]) {
+			v = v*16 + hexVal(src[i])
+			i++
+		}
+		return byte(v), i, nil
+	case '\\':
+		return '\\', i, nil
+	case '\'':
+		return '\'', i, nil
+	case '"':
+		return '"', i, nil
+	case 'a':
+		return 7, i, nil
+	case 'b':
+		return 8, i, nil
+	case 'f':
+		return 12, i, nil
+	case 'v':
+		return 11, i, nil
+	}
+	return 0, i, fmt.Errorf("unknown escape \\%c", c)
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

@@ -1,0 +1,698 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// macro is a preprocessor macro definition.
+type macro struct {
+	name     string
+	funcLike bool
+	params   []string
+	body     []Token
+}
+
+// preprocessor expands a token stream: directives, macro expansion, and
+// conditional compilation. It is deliberately small — the bundled libc
+// headers and the corpus only need object/function macros, #include,
+// #if/#ifdef/#ifndef/#else/#endif, #undef, and defined().
+type preprocessor struct {
+	files   map[string]string // include name -> contents
+	macros  map[string]*macro
+	out     []Token
+	depth   int
+	maxWork int // expansion budget; guards against runaway recursion
+}
+
+// Preprocess lexes and preprocesses the given file. files maps include names
+// (as written between quotes or angle brackets) to their contents; the main
+// file must be present under its own name.
+func Preprocess(mainFile string, files map[string]string, predefined map[string]string) ([]Token, error) {
+	p := &preprocessor{
+		files:   files,
+		macros:  map[string]*macro{},
+		maxWork: 2_000_000,
+	}
+	for name, val := range predefined {
+		toks, err := Lex("<predefined>", val)
+		if err != nil {
+			return nil, err
+		}
+		// strip trailing EOF/newlines
+		body := []Token{}
+		for _, t := range toks {
+			if t.Kind != TokEOF && t.Kind != TokNewline {
+				body = append(body, t)
+			}
+		}
+		p.macros[name] = &macro{name: name, body: body}
+	}
+	if err := p.processFile(mainFile); err != nil {
+		return nil, err
+	}
+	p.out = append(p.out, Token{Kind: TokEOF, File: mainFile})
+	// Drop newline tokens: the parser is not line-oriented.
+	dst := p.out[:0]
+	for _, t := range p.out {
+		if t.Kind != TokNewline {
+			dst = append(dst, t)
+		}
+	}
+	return dst, nil
+}
+
+func (p *preprocessor) processFile(name string) error {
+	src, ok := p.files[name]
+	if !ok {
+		return fmt.Errorf("cc: include file %q not found", name)
+	}
+	p.depth++
+	if p.depth > 40 {
+		return fmt.Errorf("cc: include depth exceeded at %q", name)
+	}
+	defer func() { p.depth-- }()
+	toks, err := Lex(name, src)
+	if err != nil {
+		return err
+	}
+	return p.processTokens(toks)
+}
+
+// condState tracks one #if level.
+type condState struct {
+	active    bool // this branch is being emitted
+	taken     bool // some branch at this level has been emitted
+	parentOff bool
+}
+
+func (p *preprocessor) processTokens(toks []Token) error {
+	var conds []condState
+	i := 0
+	atLineStart := true
+	emitting := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+	for i < len(toks) {
+		t := toks[i]
+		if t.Kind == TokEOF {
+			break
+		}
+		if t.Kind == TokNewline {
+			p.out = append(p.out, t)
+			atLineStart = true
+			i++
+			continue
+		}
+		if atLineStart && t.Kind == TokPunct && t.Text == "#" {
+			// collect directive line
+			j := i + 1
+			for j < len(toks) && toks[j].Kind != TokNewline && toks[j].Kind != TokEOF {
+				j++
+			}
+			line := toks[i+1 : j]
+			if err := p.directive(line, &conds, emitting()); err != nil {
+				return fmt.Errorf("%s:%d: %w", t.File, t.Line, err)
+			}
+			i = j
+			continue
+		}
+		atLineStart = false
+		if !emitting() {
+			i++
+			continue
+		}
+		end := p.invocationEnd(toks, i)
+		exp, err := p.fullExpand(toks[i:end])
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", t.File, t.Line, err)
+		}
+		p.out = append(p.out, exp...)
+		i = end
+	}
+	if len(conds) != 0 {
+		return fmt.Errorf("cc: unterminated #if")
+	}
+	return nil
+}
+
+// invocationEnd returns the index just past the macro invocation starting at
+// toks[i]: the identifier alone for object-like macros, or identifier plus a
+// balanced argument list for function-like macros.
+func (p *preprocessor) invocationEnd(toks []Token, i int) int {
+	t := toks[i]
+	if t.Kind != TokIdent {
+		return i + 1
+	}
+	m, ok := p.macros[t.Text]
+	if !ok || !m.funcLike {
+		return i + 1
+	}
+	j := i + 1
+	for j < len(toks) && toks[j].Kind == TokNewline {
+		j++
+	}
+	if j >= len(toks) || !(toks[j].Kind == TokPunct && toks[j].Text == "(") {
+		return i + 1
+	}
+	_, next, err := collectMacroArgs(toks, j)
+	if err != nil {
+		return i + 1
+	}
+	return next
+}
+
+// fullExpand rescans a token run to fixpoint, expanding macros. The run must
+// contain complete invocations (guaranteed by invocationEnd).
+func (p *preprocessor) fullExpand(inv []Token) ([]Token, error) {
+	queue := append([]Token(nil), inv...)
+	var out []Token
+	idx := 0
+	for idx < len(queue) {
+		p.maxWork--
+		if p.maxWork < 0 {
+			return nil, fmt.Errorf("cc: macro expansion budget exceeded (recursive macro?)")
+		}
+		t := queue[idx]
+		if t.Kind != TokIdent {
+			out = append(out, t)
+			idx++
+			continue
+		}
+		m, ok := p.macros[t.Text]
+		if !ok || t.noExpand[t.Text] {
+			out = append(out, t)
+			idx++
+			continue
+		}
+		if !m.funcLike {
+			sub := p.substitute(m, nil, t)
+			queue = splice(queue, idx, idx+1, sub)
+			continue
+		}
+		j := idx + 1
+		for j < len(queue) && queue[j].Kind == TokNewline {
+			j++
+		}
+		if j >= len(queue) || !(queue[j].Kind == TokPunct && queue[j].Text == "(") {
+			out = append(out, t)
+			idx++
+			continue
+		}
+		args, next, err := collectMacroArgs(queue, j)
+		if err != nil {
+			return nil, fmt.Errorf("macro %s: %w", t.Text, err)
+		}
+		if len(args) == 1 && len(args[0]) == 0 && len(m.params) == 0 {
+			args = nil
+		}
+		if len(args) != len(m.params) {
+			return nil, fmt.Errorf("macro %s expects %d args, got %d", t.Text, len(m.params), len(args))
+		}
+		sub := p.substitute(m, args, t)
+		queue = splice(queue, idx, next, sub)
+	}
+	return out, nil
+}
+
+func splice(toks []Token, from, to int, repl []Token) []Token {
+	out := make([]Token, 0, len(toks)-(to-from)+len(repl))
+	out = append(out, toks[:from]...)
+	out = append(out, repl...)
+	out = append(out, toks[to:]...)
+	return out
+}
+
+// substitute replaces parameters in the macro body and marks the result
+// against re-expansion of the same macro.
+func (p *preprocessor) substitute(m *macro, args [][]Token, site Token) []Token {
+	paramIdx := map[string]int{}
+	for k, name := range m.params {
+		paramIdx[name] = k
+	}
+	var out []Token
+	for bi := 0; bi < len(m.body); bi++ {
+		bt := m.body[bi]
+		// ## token pasting for identifiers/numbers
+		if bi+2 < len(m.body) && m.body[bi+1].Kind == TokPunct && m.body[bi+1].Text == "##" {
+			left := resolveSingle(bt, args, paramIdx)
+			right := resolveSingle(m.body[bi+2], args, paramIdx)
+			pasted := left.Text + right.Text
+			nt := Token{Kind: TokIdent, Text: pasted, File: site.File, Line: site.Line}
+			if keywords[pasted] {
+				nt.Kind = TokKeyword
+			}
+			out = append(out, nt)
+			bi += 2
+			continue
+		}
+		if bt.Kind == TokIdent {
+			if k, ok := paramIdx[bt.Text]; ok {
+				for _, at := range args[k] {
+					at.File, at.Line = site.File, site.Line
+					out = append(out, at)
+				}
+				continue
+			}
+		}
+		bt.File, bt.Line = site.File, site.Line
+		out = append(out, bt)
+	}
+	for k := range out {
+		ne := map[string]bool{m.name: true}
+		for key := range out[k].noExpand {
+			ne[key] = true
+		}
+		for key := range site.noExpand {
+			ne[key] = true
+		}
+		out[k].noExpand = ne
+	}
+	return out
+}
+
+func resolveSingle(t Token, args [][]Token, paramIdx map[string]int) Token {
+	if t.Kind == TokIdent {
+		if k, ok := paramIdx[t.Text]; ok && len(args[k]) == 1 {
+			return args[k][0]
+		}
+	}
+	return t
+}
+
+// collectMacroArgs reads "( a, b, ... )" starting at the open paren and
+// returns the comma-separated argument token lists.
+func collectMacroArgs(toks []Token, open int) (args [][]Token, next int, err error) {
+	depth := 0
+	cur := []Token{}
+	i := open
+	for ; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == TokNewline {
+			continue
+		}
+		if t.Kind == TokEOF {
+			return nil, 0, fmt.Errorf("unterminated macro invocation")
+		}
+		if t.Kind == TokPunct {
+			switch t.Text {
+			case "(":
+				depth++
+				if depth == 1 {
+					continue
+				}
+			case ")":
+				depth--
+				if depth == 0 {
+					args = append(args, cur)
+					return args, i + 1, nil
+				}
+			case ",":
+				if depth == 1 {
+					args = append(args, cur)
+					cur = []Token{}
+					continue
+				}
+			}
+		}
+		cur = append(cur, t)
+	}
+	return nil, 0, fmt.Errorf("unterminated macro invocation")
+}
+
+func (p *preprocessor) directive(line []Token, conds *[]condState, emitting bool) error {
+	if len(line) == 0 {
+		return nil // null directive
+	}
+	name := line[0].Text
+	if line[0].Kind == TokKeyword && name == "if" {
+		name = "if"
+	}
+	switch name {
+	case "ifdef", "ifndef":
+		if len(line) < 2 {
+			return fmt.Errorf("#%s requires a name", name)
+		}
+		_, defined := p.macros[line[1].Text]
+		active := defined == (name == "ifdef")
+		*conds = append(*conds, condState{active: active && emitting, taken: active, parentOff: !emitting})
+	case "if":
+		v := int64(0)
+		if emitting {
+			var err error
+			v, err = p.evalCond(line[1:])
+			if err != nil {
+				return err
+			}
+		}
+		*conds = append(*conds, condState{active: v != 0 && emitting, taken: v != 0, parentOff: !emitting})
+	case "elif":
+		if len(*conds) == 0 {
+			return fmt.Errorf("#elif without #if")
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.parentOff || c.taken {
+			c.active = false
+			return nil
+		}
+		v, err := p.evalCond(line[1:])
+		if err != nil {
+			return err
+		}
+		c.active = v != 0
+		c.taken = v != 0
+	case "else":
+		if len(*conds) == 0 {
+			return fmt.Errorf("#else without #if")
+		}
+		c := &(*conds)[len(*conds)-1]
+		c.active = !c.parentOff && !c.taken
+		c.taken = true
+	case "endif":
+		if len(*conds) == 0 {
+			return fmt.Errorf("#endif without #if")
+		}
+		*conds = (*conds)[:len(*conds)-1]
+	case "define":
+		if !emitting {
+			return nil
+		}
+		return p.define(line[1:])
+	case "undef":
+		if !emitting {
+			return nil
+		}
+		if len(line) < 2 {
+			return fmt.Errorf("#undef requires a name")
+		}
+		delete(p.macros, line[1].Text)
+	case "include":
+		if !emitting {
+			return nil
+		}
+		return p.include(line[1:])
+	case "pragma", "error", "warning":
+		if name == "error" && emitting {
+			return fmt.Errorf("#error %s", tokensText(line[1:]))
+		}
+	default:
+		return fmt.Errorf("unknown directive #%s", name)
+	}
+	return nil
+}
+
+func (p *preprocessor) define(line []Token) error {
+	if len(line) == 0 || line[0].Kind != TokIdent && line[0].Kind != TokKeyword {
+		return fmt.Errorf("#define requires a name")
+	}
+	m := &macro{name: line[0].Text}
+	rest := line[1:]
+	// Function-like only when '(' immediately follows the name; the lexer
+	// dropped whitespace, so approximate with: next token is '(' and the
+	// body otherwise starts with it. This matches all bundled headers.
+	if len(rest) > 0 && rest[0].Kind == TokPunct && rest[0].Text == "(" && rest[0].Adj {
+		m.funcLike = true
+		i := 1
+		for i < len(rest) && !(rest[i].Kind == TokPunct && rest[i].Text == ")") {
+			if rest[i].Kind == TokPunct && rest[i].Text == "," {
+				i++
+				continue
+			}
+			if rest[i].Kind != TokIdent {
+				return fmt.Errorf("bad macro parameter %q", rest[i].Text)
+			}
+			m.params = append(m.params, rest[i].Text)
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated macro parameter list")
+		}
+		m.body = append([]Token(nil), rest[i+1:]...)
+	} else {
+		m.body = append([]Token(nil), rest...)
+	}
+	p.macros[m.name] = m
+	return nil
+}
+
+func (p *preprocessor) include(line []Token) error {
+	if len(line) == 0 {
+		return fmt.Errorf("#include requires a file")
+	}
+	if line[0].Kind == TokStrLit {
+		return p.processFile(line[0].Str)
+	}
+	// <name.h>: tokens are < name . h >
+	var sb strings.Builder
+	if !(line[0].Kind == TokPunct && line[0].Text == "<") {
+		return fmt.Errorf("bad #include syntax")
+	}
+	for _, t := range line[1:] {
+		if t.Kind == TokPunct && t.Text == ">" {
+			return p.processFile(sb.String())
+		}
+		sb.WriteString(t.Text)
+	}
+	return fmt.Errorf("unterminated #include <...>")
+}
+
+// evalCond evaluates a preprocessor conditional expression. Supported:
+// integers, defined(X)/defined X, !, &&, ||, comparison and arithmetic
+// operators, parentheses, and macro expansion of remaining identifiers.
+func (p *preprocessor) evalCond(toks []Token) (int64, error) {
+	// First resolve defined(...) before macro expansion.
+	var resolved []Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == TokIdent && t.Text == "defined" {
+			j := i + 1
+			name := ""
+			if j < len(toks) && toks[j].Kind == TokPunct && toks[j].Text == "(" {
+				if j+2 < len(toks) && toks[j+2].Kind == TokPunct && toks[j+2].Text == ")" {
+					name = toks[j+1].Text
+					i = j + 2
+				} else {
+					return 0, fmt.Errorf("bad defined()")
+				}
+			} else if j < len(toks) {
+				name = toks[j].Text
+				i = j
+			}
+			v := int64(0)
+			if _, ok := p.macros[name]; ok {
+				v = 1
+			}
+			resolved = append(resolved, Token{Kind: TokIntLit, Int: v})
+			continue
+		}
+		resolved = append(resolved, t)
+	}
+	// Macro-expand the rest.
+	sub := &preprocessor{files: p.files, macros: p.macros, maxWork: 10000}
+	expanded, err := sub.fullExpand(resolved)
+	if err != nil {
+		return 0, err
+	}
+	// Remaining identifiers evaluate to 0 (C preprocessor rule).
+	for i := range expanded {
+		if expanded[i].Kind == TokIdent || expanded[i].Kind == TokKeyword {
+			expanded[i] = Token{Kind: TokIntLit, Int: 0}
+		}
+	}
+	e := &condEval{toks: expanded}
+	v, err := e.orExpr()
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+type condEval struct {
+	toks []Token
+	pos  int
+}
+
+func (e *condEval) peek() Token {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos]
+	}
+	return Token{Kind: TokEOF}
+}
+
+func (e *condEval) isPunct(s string) bool {
+	t := e.peek()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (e *condEval) orExpr() (int64, error) {
+	v, err := e.andExpr()
+	if err != nil {
+		return 0, err
+	}
+	for e.isPunct("||") {
+		e.pos++
+		w, err := e.andExpr()
+		if err != nil {
+			return 0, err
+		}
+		if v != 0 || w != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v, nil
+}
+
+func (e *condEval) andExpr() (int64, error) {
+	v, err := e.cmpExpr()
+	if err != nil {
+		return 0, err
+	}
+	for e.isPunct("&&") {
+		e.pos++
+		w, err := e.cmpExpr()
+		if err != nil {
+			return 0, err
+		}
+		if v != 0 && w != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v, nil
+}
+
+func (e *condEval) cmpExpr() (int64, error) {
+	v, err := e.addExpr()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		ops := []struct {
+			s string
+			f func(a, b int64) bool
+		}{
+			{"==", func(a, b int64) bool { return a == b }},
+			{"!=", func(a, b int64) bool { return a != b }},
+			{"<=", func(a, b int64) bool { return a <= b }},
+			{">=", func(a, b int64) bool { return a >= b }},
+			{"<", func(a, b int64) bool { return a < b }},
+			{">", func(a, b int64) bool { return a > b }},
+		}
+		matched := false
+		for _, op := range ops {
+			if e.isPunct(op.s) {
+				e.pos++
+				w, err := e.addExpr()
+				if err != nil {
+					return 0, err
+				}
+				if op.f(v, w) {
+					v = 1
+				} else {
+					v = 0
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return v, nil
+		}
+	}
+}
+
+func (e *condEval) addExpr() (int64, error) {
+	v, err := e.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case e.isPunct("+"):
+			e.pos++
+			w, err := e.unary()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case e.isPunct("-"):
+			e.pos++
+			w, err := e.unary()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		case e.isPunct("*"):
+			e.pos++
+			w, err := e.unary()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *condEval) unary() (int64, error) {
+	switch {
+	case e.isPunct("!"):
+		e.pos++
+		v, err := e.unary()
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case e.isPunct("-"):
+		e.pos++
+		v, err := e.unary()
+		return -v, err
+	case e.isPunct("("):
+		e.pos++
+		v, err := e.orExpr()
+		if err != nil {
+			return 0, err
+		}
+		if !e.isPunct(")") {
+			return 0, fmt.Errorf("missing ) in #if")
+		}
+		e.pos++
+		return v, nil
+	}
+	t := e.peek()
+	if t.Kind == TokIntLit || t.Kind == TokCharLit {
+		e.pos++
+		return t.Int, nil
+	}
+	return 0, fmt.Errorf("bad #if expression near %q", t.Text)
+}
+
+func tokensText(toks []Token) string {
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TokStrLit:
+			sb.WriteString(t.Str)
+		case TokIntLit:
+			fmt.Fprintf(&sb, "%d", t.Int)
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,232 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// pp runs the preprocessor and renders the output tokens as a string.
+func pp(t *testing.T, main string, files map[string]string) string {
+	t.Helper()
+	if files == nil {
+		files = map[string]string{}
+	}
+	files["main.c"] = main
+	toks, err := Preprocess("main.c", files, nil)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	var parts []string
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokEOF:
+		case TokStrLit:
+			parts = append(parts, `"`+tok.Str+`"`)
+		case TokIntLit:
+			parts = append(parts, fmtInt(tok.Int))
+		default:
+			parts = append(parts, tok.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestObjectMacro(t *testing.T) {
+	got := pp(t, "#define N 10\nint a[N];", nil)
+	if got != "int a [ 10 ] ;" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFunctionMacro(t *testing.T) {
+	got := pp(t, "#define SQ(x) ((x)*(x))\nSQ(a+1)", nil)
+	if got != "( ( a + 1 ) * ( a + 1 ) )" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedMacros(t *testing.T) {
+	got := pp(t, "#define A B\n#define B C\n#define C 42\nA", nil)
+	if got != "42" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRecursiveMacroStops(t *testing.T) {
+	got := pp(t, "#define X X\nX", nil)
+	if got != "X" {
+		t.Errorf("self-referential macro should not loop: %q", got)
+	}
+}
+
+func TestObjectLikeWithParenValue(t *testing.T) {
+	// `#define P (1+2)` is object-like: a space precedes the paren.
+	got := pp(t, "#define P (1+2)\nP", nil)
+	if got != "( 1 + 2 )" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFunctionMacroNotInvokedWithoutParens(t *testing.T) {
+	got := pp(t, "#define F(x) x\nint F;", nil)
+	if got != "int F ;" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestUndef(t *testing.T) {
+	got := pp(t, "#define A 1\n#undef A\nA", nil)
+	if got != "A" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	src := `#define FLAG 1
+#if FLAG
+yes1
+#else
+no1
+#endif
+#if !FLAG
+no2
+#endif
+#ifdef FLAG
+yes2
+#endif
+#ifndef FLAG
+no3
+#else
+yes3
+#endif
+#if defined(FLAG) && FLAG > 0
+yes4
+#endif
+#if FLAG == 2
+no4
+#elif FLAG == 1
+yes5
+#else
+no5
+#endif`
+	got := pp(t, src, nil)
+	if got != "yes1 yes2 yes3 yes4 yes5" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	src := `#if 1
+#if 0
+dead
+#else
+live
+#endif
+#endif
+#if 0
+#if 1
+alsodead
+#endif
+#endif`
+	got := pp(t, src, nil)
+	if got != "live" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInclude(t *testing.T) {
+	got := pp(t, `#include "defs.h"`+"\nVALUE", map[string]string{
+		"defs.h": "#define VALUE 7\n",
+	})
+	if got != "7" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIncludeAngle(t *testing.T) {
+	got := pp(t, "#include <sys.h>\nX", map[string]string{
+		"sys.h": "#define X ok\n",
+	})
+	if got != "ok" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIncludeGuards(t *testing.T) {
+	h := "#ifndef H\n#define H\nint once;\n#endif\n"
+	got := pp(t, `#include "h.h"`+"\n"+`#include "h.h"`, map[string]string{"h.h": h})
+	if got != "int once ;" {
+		t.Errorf("guard failed: %q", got)
+	}
+}
+
+func TestMissingIncludeFails(t *testing.T) {
+	files := map[string]string{"main.c": `#include "ghost.h"`}
+	if _, err := Preprocess("main.c", files, nil); err == nil {
+		t.Error("expected error for missing include")
+	}
+}
+
+func TestErrorDirective(t *testing.T) {
+	files := map[string]string{"main.c": "#if 1\n#error boom\n#endif"}
+	if _, err := Preprocess("main.c", files, nil); err == nil {
+		t.Error("#error should fail the compilation")
+	}
+	files = map[string]string{"main.c": "#if 0\n#error never\n#endif\nok"}
+	if _, err := Preprocess("main.c", files, nil); err != nil {
+		t.Errorf("#error in dead branch should be ignored: %v", err)
+	}
+}
+
+func TestTokenPaste(t *testing.T) {
+	got := pp(t, "#define GLUE(a, b) a##b\nGLUE(var, 7)", nil)
+	if got != "var7" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMultiStatementMacro(t *testing.T) {
+	src := `#define SWAP(a, b) do { int t = a; a = b; b = t; } while (0)
+SWAP(x, y);`
+	got := pp(t, src, nil)
+	if !strings.Contains(got, "int t = x") || !strings.Contains(got, "while ( 0 )") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPredefinedMacros(t *testing.T) {
+	files := map[string]string{"main.c": "#ifdef __SULONG__\nsulong\n#endif\nNULL"}
+	toks, err := Preprocess("main.c", files, map[string]string{
+		"__SULONG__": "1",
+		"NULL":       "((void*)0)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			parts = append(parts, tok.Text)
+		}
+	}
+	joined := strings.Join(parts, " ")
+	if !strings.Contains(joined, "sulong") || !strings.Contains(joined, "void") {
+		t.Errorf("got %q", joined)
+	}
+}
+
+func TestUnterminatedIfFails(t *testing.T) {
+	files := map[string]string{"main.c": "#if 1\nx"}
+	if _, err := Preprocess("main.c", files, nil); err == nil {
+		t.Error("unterminated #if should fail")
+	}
+}
+
+func TestDirectiveAfterMacroUse(t *testing.T) {
+	// A macro expansion must not swallow subsequent directives.
+	src := "#define A 1\nA\n#define B 2\nB"
+	got := pp(t, src, nil)
+	if got != "1 2" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Value is a scalar during managed execution: an integer (canonical
+// sign-extended form), a float, or a managed pointer. Exactly one of the
+// fields is meaningful per use; the IR's types say which.
+type Value struct {
+	I int64
+	F float64
+	P Pointer
+}
+
+// IntValue, FloatValue, and PtrValue build Values.
+func IntValue(v int64) Value     { return Value{I: v} }
+func FloatValue(v float64) Value { return Value{F: v} }
+func PtrValue(p Pointer) Value   { return Value{P: p} }
+
+// Frame is one managed activation record.
+type Frame struct {
+	Fn   *ir.Func
+	Regs []Value
+	// VarArgs holds the boxed variadic arguments for this call: one managed
+	// cell per extra argument (paper §3.4, "Variadic argument errors").
+	VarArgs []Pointer
+	// Autos tracks this frame's stack objects when use-after-return
+	// detection is on; they are invalidated when the frame pops.
+	Autos []*Object
+}
+
+// Builtin is a function implemented in Go, playing the role of the paper's
+// Java methods that "serve the same purpose as system calls" (§3.1).
+type Builtin func(e *Engine, fr *Frame, args []Value) (Value, error)
+
+// Tier1Compiler is implemented by internal/jit: it turns a hot function into
+// a directly executable closure. A nil result means "keep interpreting".
+type Tier1Compiler interface {
+	Compile(e *Engine, fidx int) CompiledFunc
+}
+
+// CompiledFunc executes a function against a prepared frame.
+type CompiledFunc func(e *Engine, fr *Frame) (Value, error)
+
+// Config configures a managed engine.
+type Config struct {
+	Args   []string
+	Env    []string
+	Stdin  io.Reader
+	Stdout io.Writer
+
+	// MaxSteps bounds interpreted instructions (0 = default of 2e9).
+	MaxSteps int64
+	// MaxCallDepth bounds recursion (0 = default of 4096).
+	MaxCallDepth int
+	// DetectLeaks reports unfreed heap objects after main returns (§6).
+	DetectLeaks bool
+	// DetectUseAfterReturn invalidates a function's stack objects when it
+	// returns, so accesses through escaped pointers are reported (the
+	// use-after-return/use-after-scope class ASan added after the paper's
+	// original publication; the managed model gets it by marking objects).
+	DetectUseAfterReturn bool
+	// Tier1 enables dynamic compilation of hot functions.
+	Tier1 Tier1Compiler
+	// Tier1Threshold is the call count that triggers compilation (default 50).
+	Tier1Threshold int64
+	// OnCompile is invoked when a function is tier-1 compiled (Fig. 15's
+	// compilation-event annotations).
+	OnCompile func(name string)
+}
+
+// Stats captures execution counters.
+type Stats struct {
+	Steps       int64
+	Calls       int64
+	Allocs      int64
+	Frees       int64
+	Tier1Funcs  int64
+	Tier1Calls  int64
+	InterpCalls int64
+	LeaksFound  int
+}
+
+// Engine is the managed execution engine (Safe Sulong).
+type Engine struct {
+	mod      *ir.Module
+	cfg      Config
+	globals  map[string]*Object
+	builtins []Builtin // indexed by function index; nil for IR-defined funcs
+	compiled []CompiledFunc
+	counts   []int64
+
+	stdout *bufio.Writer
+	stdin  *bufio.Reader
+
+	steps    int64
+	maxSteps int64
+	depth    int
+	maxDepth int
+	nextID   int64
+
+	heap    []*Object // live heap objects, for leak detection
+	envObjs map[string]*Object
+	stats   Stats
+
+	// Writer for captured output when none is configured.
+	sink strings.Builder
+}
+
+// NewEngine prepares a managed engine for the module. The module is not
+// mutated; globals are instantiated as managed objects.
+func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
+	e := &Engine{mod: mod, cfg: cfg}
+	e.maxSteps = cfg.MaxSteps
+	if e.maxSteps == 0 {
+		e.maxSteps = 2_000_000_000
+	}
+	e.maxDepth = cfg.MaxCallDepth
+	if e.maxDepth == 0 {
+		e.maxDepth = 4096
+	}
+	if cfg.Tier1Threshold == 0 {
+		e.cfg.Tier1Threshold = 50
+	}
+	out := cfg.Stdout
+	if out == nil {
+		out = &e.sink
+	}
+	e.stdout = bufio.NewWriter(out)
+	in := cfg.Stdin
+	if in == nil {
+		in = strings.NewReader("")
+	}
+	e.stdin = bufio.NewReader(in)
+	e.compiled = make([]CompiledFunc, len(mod.Funcs))
+	e.counts = make([]int64, len(mod.Funcs))
+	if err := e.bindBuiltins(); err != nil {
+		return nil, err
+	}
+	if err := e.initGlobals(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Module returns the module being executed.
+func (e *Engine) Module() *ir.Module { return e.mod }
+
+// Stats returns a snapshot of execution counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Steps = e.steps
+	return s
+}
+
+// Output returns captured stdout when no Stdout writer was configured.
+func (e *Engine) Output() string {
+	e.stdout.Flush()
+	return e.sink.String()
+}
+
+func (e *Engine) id() int64 {
+	e.nextID++
+	return e.nextID
+}
+
+func (e *Engine) bindBuiltins() error {
+	e.builtins = make([]Builtin, len(e.mod.Funcs))
+	for i, f := range e.mod.Funcs {
+		if !f.IsDecl {
+			continue
+		}
+		if b, ok := builtinTable[f.Name]; ok {
+			e.builtins[i] = b
+			continue
+		}
+		// Headers declare more than a program links against; an unresolved
+		// external only fails if it is actually called.
+		name := f.Name
+		e.builtins[i] = func(e *Engine, fr *Frame, args []Value) (Value, error) {
+			return Value{}, fmt.Errorf("core: call to unresolved external function %q", name)
+		}
+	}
+	return nil
+}
+
+// initGlobals materializes module globals as managed static objects.
+func (e *Engine) initGlobals() error {
+	e.globals = make(map[string]*Object, len(e.mod.Globals))
+	for _, g := range e.mod.Globals {
+		obj := NewObject(g.Ty.Size(), StaticMem, g.Name, e.id())
+		obj.Ty = g.Ty
+		e.globals[g.Name] = obj
+	}
+	// Second pass fills initializers (they may reference other globals).
+	for _, g := range e.mod.Globals {
+		if g.Init == nil {
+			continue
+		}
+		if err := e.fillConst(e.globals[g.Name], 0, g.Init, g.Ty); err != nil {
+			return fmt.Errorf("core: initializing global %s: %w", g.Name, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) fillConst(obj *Object, off int64, c ir.Const, ty ir.Type) error {
+	switch v := c.(type) {
+	case ir.ConstZero:
+		return nil
+	case ir.ConstIntVal:
+		if be := obj.StoreInt(off, ty.Size(), v.V, Write); be != nil {
+			return be
+		}
+	case ir.ConstFloatVal:
+		bits := 64
+		if ft, ok := ty.(*ir.FloatType); ok {
+			bits = ft.Bits
+		}
+		if be := obj.StoreFloat(off, bits, v.V, Write); be != nil {
+			return be
+		}
+	case ir.ConstBytes:
+		if off+int64(len(v.Data)) > obj.Size() {
+			return fmt.Errorf("byte initializer overflows object")
+		}
+		copy(obj.Data[off:], v.Data)
+	case ir.ConstArrayVal:
+		at, ok := ty.(*ir.ArrayType)
+		if !ok {
+			return fmt.Errorf("array constant for non-array type %s", ty)
+		}
+		esz := at.Elem.Size()
+		for i, el := range v.Elems {
+			if err := e.fillConst(obj, off+int64(i)*esz, el, at.Elem); err != nil {
+				return err
+			}
+		}
+	case ir.ConstStructVal:
+		st, ok := ty.(*ir.StructType)
+		if !ok {
+			return fmt.Errorf("struct constant for non-struct type %s", ty)
+		}
+		for i, el := range v.Fields {
+			if err := e.fillConst(obj, off+st.Fields[i].Offset, el, st.Fields[i].Ty); err != nil {
+				return err
+			}
+		}
+	case ir.ConstGlobalRef:
+		target, ok := e.globals[v.Sym]
+		if !ok {
+			return fmt.Errorf("unknown global %q in initializer", v.Sym)
+		}
+		if be := obj.StorePtr(off, Pointer{Obj: target, Off: v.Off}, Write); be != nil {
+			return be
+		}
+	case ir.ConstFuncRef:
+		idx := e.mod.FuncIndex(v.Sym)
+		if idx < 0 {
+			return fmt.Errorf("unknown function %q in initializer", v.Sym)
+		}
+		if be := obj.StorePtr(off, FuncPointer(idx), Write); be != nil {
+			return be
+		}
+	default:
+		return fmt.Errorf("unhandled constant %T", c)
+	}
+	return nil
+}
+
+// Global returns the managed object backing a named global (tests and the
+// harness use this to inspect state).
+func (e *Engine) Global(name string) *Object { return e.globals[name] }
+
+// Run executes main() with the configured arguments and returns the exit
+// code. Detected bugs come back as *BugError; normal termination (including
+// exit()) reports the code with a nil error.
+func (e *Engine) Run() (int, error) {
+	mainIdx := e.mod.FuncIndex("main")
+	if mainIdx < 0 {
+		return 127, fmt.Errorf("core: program has no main function")
+	}
+	argvPtr := e.buildArgv()
+	envpPtr := e.buildEnvp()
+	mainFn := e.mod.Funcs[mainIdx]
+	var args []Value
+	switch len(mainFn.Sig.Params) {
+	case 0:
+	case 1:
+		args = []Value{IntValue(int64(len(e.cfg.Args) + 1))}
+	case 2:
+		args = []Value{IntValue(int64(len(e.cfg.Args) + 1)), PtrValue(argvPtr)}
+	default:
+		args = []Value{IntValue(int64(len(e.cfg.Args) + 1)), PtrValue(argvPtr), PtrValue(envpPtr)}
+	}
+	ret, err := e.CallIndex(mainIdx, args)
+	e.stdout.Flush()
+	if err != nil {
+		var ex *ExitError
+		if asExit(err, &ex) {
+			return ex.Code, e.maybeLeakCheck()
+		}
+		return -1, err
+	}
+	return int(int32(ret.I)), e.maybeLeakCheck()
+}
+
+func asExit(err error, out **ExitError) bool {
+	for err != nil {
+		if ex, ok := err.(*ExitError); ok {
+			*out = ex
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// buildArgv creates the argv vector: a pointer array of length argc+1
+// (terminated by NULL as C guarantees) tagged ArgvMem, so out-of-bounds
+// argv accesses are reported with the paper's "main args" memory kind.
+func (e *Engine) buildArgv() Pointer {
+	args := append([]string{"program"}, e.cfg.Args...)
+	vec := NewObject(int64(len(args)+1)*8, ArgvMem, "argv", e.id())
+	for i, a := range args {
+		s := NewObject(int64(len(a)+1), ArgvMem, fmt.Sprintf("argv[%d]", i), e.id())
+		copy(s.Data, a)
+		vec.StorePtr(int64(i)*8, Pointer{Obj: s}, Write)
+	}
+	return Pointer{Obj: vec}
+}
+
+func (e *Engine) buildEnvp() Pointer {
+	env := e.cfg.Env
+	vec := NewObject(int64(len(env)+1)*8, ArgvMem, "envp", e.id())
+	for i, kv := range env {
+		s := NewObject(int64(len(kv)+1), ArgvMem, "envp[]", e.id())
+		copy(s.Data, kv)
+		vec.StorePtr(int64(i)*8, Pointer{Obj: s}, Write)
+	}
+	return Pointer{Obj: vec}
+}
+
+func (e *Engine) maybeLeakCheck() error {
+	if !e.cfg.DetectLeaks {
+		return nil
+	}
+	for _, obj := range e.heap {
+		if !obj.Freed {
+			e.stats.LeaksFound++
+		}
+	}
+	return nil
+}
+
+// Leaks returns the unfreed heap objects after a run (when DetectLeaks).
+func (e *Engine) Leaks() []*BugError {
+	var out []*BugError
+	for _, obj := range e.heap {
+		if !obj.Freed {
+			out = append(out, &BugError{Kind: MemoryLeak, ObjSize: obj.Size(), Mem: HeapMem, Obj: obj.Name})
+		}
+	}
+	return out
+}
+
+// CallByName invokes a function by name (examples and tests).
+func (e *Engine) CallByName(name string, args []Value) (Value, error) {
+	idx := e.mod.FuncIndex(name)
+	if idx < 0 {
+		return Value{}, fmt.Errorf("core: no function %q", name)
+	}
+	return e.CallIndex(idx, args)
+}
+
+// CallIndex invokes a function by module index.
+func (e *Engine) CallIndex(idx int, args []Value) (Value, error) {
+	return e.invoke(idx, args, nil)
+}
+
+// AllocAuto creates a managed stack object (tier-1 compiled allocas).
+func (e *Engine) AllocAuto(size int64, name string, ty ir.Type) Pointer {
+	if size < 0 {
+		size = 0
+	}
+	obj := NewObject(size, AutoMem, name, e.id())
+	obj.Ty = ty
+	e.stats.Allocs++
+	return Pointer{Obj: obj}
+}
+
+// Invoke dispatches a call from tier-1 compiled code: builtins receive the
+// caller's frame (for variadic introspection), IR functions get the boxed
+// variadic cells.
+func (e *Engine) Invoke(idx int, args []Value, varargs []Pointer, caller *Frame) (Value, error) {
+	if idx < 0 || idx >= len(e.mod.Funcs) {
+		return Value{}, fmt.Errorf("core: call to unknown function index %d", idx)
+	}
+	if b := e.builtins[idx]; b != nil {
+		e.stats.Calls++
+		return b(e, caller, args)
+	}
+	return e.invoke(idx, args, varargs)
+}
+
+// invoke runs a function with pre-boxed variadic cells (built by the caller,
+// which knows the argument types from the call instruction).
+func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error) {
+	f := e.mod.Funcs[idx]
+	e.stats.Calls++
+	if b := e.builtins[idx]; b != nil {
+		return b(e, nil, args)
+	}
+	if e.depth >= e.maxDepth {
+		return Value{}, &LimitError{What: fmt.Sprintf("call depth %d (stack overflow in %s)", e.maxDepth, f.Name)}
+	}
+
+	fr := &Frame{Fn: f, Regs: make([]Value, f.NumRegs), VarArgs: varargs}
+	nFixed := len(f.Sig.Params)
+	for i := 0; i < nFixed && i < len(args); i++ {
+		fr.Regs[i] = args[i]
+	}
+
+	e.depth++
+	defer func() {
+		e.depth--
+		if e.cfg.DetectUseAfterReturn {
+			for _, obj := range fr.Autos {
+				obj.InvalidateReturned()
+			}
+		}
+	}()
+
+	// Tier-1 dispatch: compiled functions bypass the interpreter.
+	if cf := e.compiled[idx]; cf != nil {
+		e.stats.Tier1Calls++
+		return cf(e, fr)
+	}
+	e.counts[idx]++
+	if e.cfg.Tier1 != nil && e.counts[idx] == e.cfg.Tier1Threshold {
+		if cf := e.cfg.Tier1.Compile(e, idx); cf != nil {
+			e.compiled[idx] = cf
+			e.stats.Tier1Funcs++
+			if e.cfg.OnCompile != nil {
+				e.cfg.OnCompile(f.Name)
+			}
+			e.stats.Tier1Calls++
+			return cf(e, fr)
+		}
+	}
+	e.stats.InterpCalls++
+	return e.interpret(fr)
+}
+
+// TrackAuto registers a stack object with its owning frame for
+// use-after-return invalidation (no-op when the option is off).
+func (e *Engine) TrackAuto(fr *Frame, p Pointer) {
+	if e.cfg.DetectUseAfterReturn && fr != nil && p.Obj != nil {
+		fr.Autos = append(fr.Autos, p.Obj)
+	}
+}
+
+// BoxVarArg boxes one variadic argument value of the given IR type into its
+// own managed cell. The cell's size is the promoted argument's size, so
+// reading it with a wider type is an out-of-bounds read — exactly how the
+// paper detects printf("%ld", int) (Fig. 12).
+func (e *Engine) BoxVarArg(ty ir.Type, v Value, idx int) Pointer {
+	name := fmt.Sprintf("vararg %d", idx+1)
+	cell := NewObject(ty.Size(), VarargMem, name, e.id())
+	cell.Ty = ty
+	switch t := ty.(type) {
+	case *ir.FloatType:
+		cell.StoreFloat(0, t.Bits, v.F, Write)
+	case *ir.PtrType:
+		cell.StorePtr(0, v.P, Write)
+	default:
+		cell.StoreInt(0, ty.Size(), v.I, Write)
+	}
+	return Pointer{Obj: cell}
+}

@@ -1,0 +1,155 @@
+// Package core implements Safe Sulong's managed execution engine — the
+// paper's primary contribution. C objects are represented as managed objects
+// (typed, size-carrying allocations addressed by Pointer{Obj, Off} values
+// instead of raw machine addresses), so every load, store, and free is
+// checked exactly. There is no shadow memory and no redzone: an access is
+// valid iff it lies inside the bounds of the live object its pointer was
+// derived from, which is why the engine cannot miss an error of a supported
+// category (paper §3.4) and cannot report false positives.
+package core
+
+import "fmt"
+
+// BugKind classifies a detected memory error, mirroring the paper's
+// categories (§2.1): spatial errors, temporal errors, NULL dereferences, and
+// the "other" group (invalid free, double free, variadic-argument misuse).
+type BugKind int
+
+const (
+	OutOfBounds BugKind = iota
+	UseAfterFree
+	DoubleFree
+	InvalidFree
+	NullDeref
+	TypeViolation // disallowed reinterpretation, e.g. forging a pointer from ints
+	VarargMisuse  // access to a non-existent or mistyped variadic argument
+	DivideByZero
+	MemoryLeak     // reported at exit for unfreed heap objects (paper §6)
+	UseAfterReturn // access to a stack object after its function returned
+)
+
+var bugNames = [...]string{
+	OutOfBounds:    "out-of-bounds access",
+	UseAfterFree:   "use after free",
+	DoubleFree:     "double free",
+	InvalidFree:    "invalid free",
+	NullDeref:      "NULL pointer dereference",
+	TypeViolation:  "type violation",
+	VarargMisuse:   "variadic argument misuse",
+	DivideByZero:   "division by zero",
+	MemoryLeak:     "memory leak",
+	UseAfterReturn: "use after return",
+}
+
+func (k BugKind) String() string { return bugNames[k] }
+
+// AccessKind says what the program was doing when the bug fired.
+type AccessKind int
+
+const (
+	Read AccessKind = iota
+	Write
+	Free
+	CallAccess
+)
+
+var accessNames = [...]string{Read: "read", Write: "write", Free: "free", CallAccess: "call"}
+
+func (a AccessKind) String() string { return accessNames[a] }
+
+// MemKind is the storage class of the object involved, used both for error
+// messages and for the paper's Table 2 breakdown.
+type MemKind int
+
+const (
+	AutoMem   MemKind = iota // stack
+	HeapMem                  // malloc/calloc/realloc
+	StaticMem                // globals
+	ArgvMem                  // the main() argument vector (uninstrumentable natively)
+	VarargMem                // boxed variadic arguments
+)
+
+var memNames = [...]string{
+	AutoMem: "stack", HeapMem: "heap", StaticMem: "global", ArgvMem: "main-args", VarargMem: "vararg",
+}
+
+func (m MemKind) String() string { return memNames[m] }
+
+// BugError is the exact error report the managed engine produces. It carries
+// everything the paper's messages include: the kind, the access, the offset
+// and size, the object's size, storage class, and allocation-site name.
+type BugError struct {
+	Kind    BugKind
+	Access  AccessKind
+	Off     int64 // byte offset of the access relative to the object start
+	Size    int64 // access size in bytes
+	ObjSize int64
+	Mem     MemKind
+	Obj     string // allocation-site variable name, if known
+	Func    string // function in which the access happened
+	Line    int    // source line, if known
+}
+
+// Underflow reports whether an out-of-bounds access is before the object
+// (paper Table 2 distinguishes underflows from overflows).
+func (e *BugError) Underflow() bool { return e.Kind == OutOfBounds && e.Off < 0 }
+
+func (e *BugError) Error() string {
+	loc := ""
+	if e.Func != "" {
+		loc = " in " + e.Func
+		if e.Line > 0 {
+			loc = fmt.Sprintf("%s (line %d)", loc, e.Line)
+		}
+	}
+	name := ""
+	if e.Obj != "" {
+		name = fmt.Sprintf(" '%s'", e.Obj)
+	}
+	switch e.Kind {
+	case OutOfBounds:
+		dir := "overflow"
+		if e.Underflow() {
+			dir = "underflow"
+		}
+		return fmt.Sprintf("invalid %s of size %d at offset %d of %d-byte %s object%s (buffer %s)%s",
+			e.Access, e.Size, e.Off, e.ObjSize, e.Mem, name, dir, loc)
+	case UseAfterFree:
+		return fmt.Sprintf("invalid %s of size %d to freed %s object%s%s", e.Access, e.Size, e.Mem, name, loc)
+	case DoubleFree:
+		return fmt.Sprintf("double free of %s object%s%s", e.Mem, name, loc)
+	case InvalidFree:
+		if e.Off != 0 {
+			return fmt.Sprintf("invalid free: pointer into the middle (offset %d) of %s object%s%s", e.Off, e.Mem, name, loc)
+		}
+		return fmt.Sprintf("invalid free of %s object%s (not heap-allocated)%s", e.Mem, name, loc)
+	case NullDeref:
+		return fmt.Sprintf("NULL pointer dereference (%s of size %d at offset %d)%s", e.Access, e.Size, e.Off, loc)
+	case TypeViolation:
+		return fmt.Sprintf("type violation: %s of size %d at offset %d of %s object%s%s", e.Access, e.Size, e.Off, e.Mem, name, loc)
+	case VarargMisuse:
+		return fmt.Sprintf("variadic argument misuse%s%s", name, loc)
+	case DivideByZero:
+		return fmt.Sprintf("division by zero%s", loc)
+	case MemoryLeak:
+		return fmt.Sprintf("memory leak: %d-byte heap object%s never freed", e.ObjSize, name)
+	case UseAfterReturn:
+		return fmt.Sprintf("invalid %s of size %d to %s object%s after its function returned%s",
+			e.Access, e.Size, e.Mem, name, loc)
+	}
+	return "unknown bug"
+}
+
+// ExitError carries a program's exit() status through the interpreter.
+type ExitError struct {
+	Code int
+}
+
+func (e *ExitError) Error() string { return fmt.Sprintf("program exited with status %d", e.Code) }
+
+// LimitError reports that the engine's step or memory budget was exhausted.
+type LimitError struct {
+	What string
+}
+
+func (e *LimitError) Error() string { return "execution limit exceeded: " + e.What }

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// interpret is the tier-0 execution engine: a straightforward block/
+// instruction interpreter. Hot functions move to tier 1 (internal/jit).
+func (e *Engine) interpret(fr *Frame) (Value, error) {
+	f := fr.Fn
+	blk := 0
+	ii := 0
+	for {
+		e.steps++
+		if e.steps > e.maxSteps {
+			return Value{}, &LimitError{What: fmt.Sprintf("%d interpreter steps", e.maxSteps)}
+		}
+		in := &f.Blocks[blk].Instrs[ii]
+		switch in.Op {
+		case ir.OpAlloca:
+			count := int64(1)
+			if cnt, ok := in.CountOp(); ok {
+				count = e.operand(fr, cnt).I
+			}
+			size := in.Ty.Size() * count
+			obj := NewObject(size, AutoMem, in.Name, e.id())
+			obj.Ty = in.Ty
+			e.stats.Allocs++
+			p := Pointer{Obj: obj}
+			e.TrackAuto(fr, p)
+			fr.Regs[in.Dst] = PtrValue(p)
+
+		case ir.OpLoad:
+			v, be := e.LoadTyped(e.operand(fr, in.Addr).P, in.Ty)
+			if be != nil {
+				return Value{}, e.located(be, f.Name, in.Line)
+			}
+			fr.Regs[in.Dst] = v
+
+		case ir.OpStore:
+			if be := e.StoreTyped(e.operand(fr, in.Addr).P, in.Ty, e.operand(fr, in.A)); be != nil {
+				return Value{}, e.located(be, f.Name, in.Line)
+			}
+
+		case ir.OpGEP:
+			base := e.operand(fr, in.Addr).P
+			idx := e.operand(fr, in.A).I
+			fr.Regs[in.Dst] = PtrValue(base.Add(in.Stride * idx))
+
+		case ir.OpBin:
+			a, b := e.operand(fr, in.A), e.operand(fr, in.B)
+			if in.Bin.IsFloatOp() {
+				bits := 64
+				if ft, ok := in.Ty.(*ir.FloatType); ok {
+					bits = ft.Bits
+				}
+				fr.Regs[in.Dst] = FloatValue(ir.EvalFloatBin(in.Bin, bits, a.F, b.F))
+			} else {
+				v, ok := ir.EvalIntBin(in.Bin, intBits(in.Ty), a.I, b.I)
+				if !ok {
+					return Value{}, e.located(&BugError{Kind: DivideByZero}, f.Name, in.Line)
+				}
+				fr.Regs[in.Dst] = IntValue(v)
+			}
+
+		case ir.OpCmp:
+			a, b := e.operand(fr, in.A), e.operand(fr, in.B)
+			var r bool
+			switch {
+			case in.Pred.IsFloatPred():
+				r = ir.EvalFloatCmp(in.Pred, a.F, b.F)
+			case ir.IsPtr(in.Ty):
+				r = EvalPtrCmp(in.Pred, a.P, b.P)
+			default:
+				r = ir.EvalIntCmp(in.Pred, intBits(in.Ty), a.I, b.I)
+			}
+			fr.Regs[in.Dst] = IntValue(b2i(r))
+
+		case ir.OpCast:
+			fr.Regs[in.Dst] = e.evalCast(in, e.operand(fr, in.A))
+
+		case ir.OpSelect:
+			if e.operand(fr, in.A).I != 0 {
+				fr.Regs[in.Dst] = e.operand(fr, in.B)
+			} else {
+				fr.Regs[in.Dst] = e.operand(fr, in.C)
+			}
+
+		case ir.OpCall:
+			ret, err := e.execCall(fr, in)
+			if err != nil {
+				return Value{}, err
+			}
+			if in.Dst >= 0 {
+				fr.Regs[in.Dst] = ret
+			}
+
+		case ir.OpBr:
+			blk, ii = in.Blk0, 0
+			continue
+
+		case ir.OpCondBr:
+			if e.operand(fr, in.A).I != 0 {
+				blk = in.Blk0
+			} else {
+				blk = in.Blk1
+			}
+			ii = 0
+			continue
+
+		case ir.OpSwitch:
+			v := e.operand(fr, in.A).I
+			blk = in.Blk0
+			for _, c := range in.Cases {
+				if c.Val == v {
+					blk = c.Blk
+					break
+				}
+			}
+			ii = 0
+			continue
+
+		case ir.OpRet:
+			if in.A.Kind == ir.OperNone {
+				return Value{}, nil
+			}
+			return e.operand(fr, in.A), nil
+
+		case ir.OpUnreachable:
+			return Value{}, fmt.Errorf("core: reached unreachable in %s", f.Name)
+
+		default:
+			return Value{}, fmt.Errorf("core: invalid opcode %d in %s", in.Op, f.Name)
+		}
+		ii++
+	}
+}
+
+// execCall evaluates a call instruction: resolving the callee, boxing
+// variadic arguments into managed cells, and dispatching.
+func (e *Engine) execCall(fr *Frame, in *ir.Instr) (Value, error) {
+	var idx int
+	switch in.Callee.Kind {
+	case ir.OperFunc:
+		idx = e.mod.FuncIndex(in.Callee.Sym)
+	default:
+		p := e.operand(fr, in.Callee).P
+		if p.IsNull() {
+			return Value{}, e.located(&BugError{Kind: NullDeref, Access: CallAccess}, fr.Fn.Name, in.Line)
+		}
+		if !p.IsFunc() {
+			return Value{}, e.located(&BugError{
+				Kind: TypeViolation, Access: CallAccess, Mem: p.Obj.Mem, Obj: p.Obj.Name,
+			}, fr.Fn.Name, in.Line)
+		}
+		idx = p.FuncIndex()
+	}
+	if idx < 0 || idx >= len(e.mod.Funcs) {
+		return Value{}, fmt.Errorf("core: call to unknown function in %s", fr.Fn.Name)
+	}
+	callee := e.mod.Funcs[idx]
+
+	nFixed := in.FixedArgs
+	if nFixed > len(in.Args) {
+		nFixed = len(in.Args)
+	}
+	args := make([]Value, 0, nFixed)
+	for i := 0; i < nFixed; i++ {
+		args = append(args, e.operand(fr, in.Args[i]))
+	}
+	var cells []Pointer
+	if len(in.Args) > nFixed {
+		cells = make([]Pointer, 0, len(in.Args)-nFixed)
+		for i := nFixed; i < len(in.Args); i++ {
+			v := e.operand(fr, in.Args[i])
+			cells = append(cells, e.BoxVarArg(in.Args[i].Ty, v, i-nFixed))
+		}
+	}
+	// Builtins that need the caller's frame (count_varargs/get_vararg) are
+	// handled by invoke via the frame we thread through builtins.
+	if b := e.builtins[idx]; b != nil {
+		e.stats.Calls++
+		return b(e, fr, args)
+	}
+	ret, err := e.invoke(idx, args, cells)
+	if err != nil {
+		return Value{}, err
+	}
+	_ = callee
+	return ret, nil
+}
+
+// LoadTyped performs a checked, typed load through a managed pointer.
+func (e *Engine) LoadTyped(p Pointer, ty ir.Type) (Value, *BugError) {
+	if p.IsNull() {
+		return Value{}, &BugError{Kind: NullDeref, Access: Read, Off: p.Off, Size: ty.Size()}
+	}
+	if p.IsFunc() {
+		return Value{}, &BugError{Kind: TypeViolation, Access: Read, Size: ty.Size()}
+	}
+	switch t := ty.(type) {
+	case *ir.FloatType:
+		f, be := p.Obj.LoadFloat(p.Off, t.Bits, Read)
+		if be != nil {
+			return Value{}, be
+		}
+		return FloatValue(f), nil
+	case *ir.PtrType:
+		q, be := p.Obj.LoadPtr(p.Off, Read)
+		if be != nil {
+			return Value{}, be
+		}
+		return PtrValue(q), nil
+	default:
+		v, be := p.Obj.LoadInt(p.Off, ty.Size(), Read)
+		if be != nil {
+			return Value{}, be
+		}
+		if it, ok := ty.(*ir.IntType); ok && it.Bits%8 != 0 {
+			v = ir.SignExtend(v, it.Bits)
+		}
+		return IntValue(v), nil
+	}
+}
+
+// StoreTyped performs a checked, typed store through a managed pointer.
+func (e *Engine) StoreTyped(p Pointer, ty ir.Type, v Value) *BugError {
+	if p.IsNull() {
+		return &BugError{Kind: NullDeref, Access: Write, Off: p.Off, Size: ty.Size()}
+	}
+	if p.IsFunc() {
+		return &BugError{Kind: TypeViolation, Access: Write, Size: ty.Size()}
+	}
+	switch t := ty.(type) {
+	case *ir.FloatType:
+		return p.Obj.StoreFloat(p.Off, t.Bits, v.F, Write)
+	case *ir.PtrType:
+		return p.Obj.StorePtr(p.Off, v.P, Write)
+	default:
+		return p.Obj.StoreInt(p.Off, ty.Size(), v.I, Write)
+	}
+}
+
+// evalCast applies a cast instruction to a value.
+func (e *Engine) evalCast(in *ir.Instr, a Value) Value {
+	switch in.Cast {
+	case ir.PtrToInt:
+		// Pointers have no numeric address in the managed model; expose a
+		// stable per-object token so round-tripping and hashing behave.
+		return IntValue(PointerToken(a.P))
+	case ir.IntToPtr:
+		if a.I == 0 {
+			return PtrValue(Pointer{})
+		}
+		// Forging pointers from integers is unsupported (paper §5, tagged
+		// pointers). The resulting pointer is poisoned: any dereference is
+		// a type violation because it has no object.
+		return PtrValue(Pointer{Fn: 0, Obj: nil, Off: a.I})
+	case ir.Bitcast:
+		return a
+	}
+	i, fres, isF := ir.EvalCast(in.Cast, intBits(in.Ty), intBits(in.Ty2), a.I, a.F)
+	if isF {
+		return FloatValue(fres)
+	}
+	return IntValue(i)
+}
+
+// PointerToken derives a deterministic integer from a pointer (used for
+// ptrtoint, alignment tricks, and pointer hashing in user code).
+func PointerToken(p Pointer) int64 {
+	if p.IsNull() {
+		return 0
+	}
+	if p.IsFunc() {
+		return int64(p.Fn) << 4
+	}
+	return p.Obj.ID<<20 + p.Off + 0x10000
+}
+
+// EvalPtrCmp compares managed pointers (exported for the tier-1 compiler).
+func EvalPtrCmp(pred ir.Pred, a, b Pointer) bool {
+	switch pred {
+	case ir.Eq:
+		return a.Equal(b)
+	case ir.Ne:
+		return !a.Equal(b)
+	}
+	ai, ao := a.OrderKey()
+	bi, bo := b.OrderKey()
+	less := ai < bi || ai == bi && ao < bo
+	eq := a.Equal(b)
+	switch pred {
+	case ir.Ult, ir.Slt:
+		return less
+	case ir.Ule, ir.Sle:
+		return less || eq
+	case ir.Ugt, ir.Sgt:
+		return !less && !eq
+	case ir.Uge, ir.Sge:
+		return !less
+	}
+	return false
+}
+
+// operand resolves an instruction operand against a frame.
+func (e *Engine) operand(fr *Frame, o ir.Operand) Value {
+	switch o.Kind {
+	case ir.OperReg:
+		return fr.Regs[o.Reg]
+	case ir.OperConstInt:
+		return IntValue(o.Int)
+	case ir.OperConstFloat:
+		return FloatValue(o.Flt)
+	case ir.OperGlobal:
+		return PtrValue(Pointer{Obj: e.globals[o.Sym]})
+	case ir.OperFunc:
+		return PtrValue(FuncPointer(e.mod.FuncIndex(o.Sym)))
+	case ir.OperNull:
+		return PtrValue(Pointer{})
+	}
+	return Value{}
+}
+
+// Operand exposes operand resolution to the tier-1 compiler.
+func (e *Engine) Operand(fr *Frame, o ir.Operand) Value { return e.operand(fr, o) }
+
+// located fills function/line context into a bug report.
+func (e *Engine) located(be *BugError, fn string, line int) *BugError {
+	if be.Func == "" {
+		be.Func = fn
+		be.Line = line
+	}
+	return be
+}
+
+func intBits(t ir.Type) int {
+	switch v := t.(type) {
+	case *ir.IntType:
+		return v.Bits
+	case *ir.FloatType:
+		return v.Bits
+	case *ir.PtrType:
+		return 64
+	case nil:
+		return 64
+	}
+	return 64
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

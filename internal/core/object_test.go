@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestObjectBoundsExactness(t *testing.T) {
+	obj := NewObject(10, HeapMem, "buf", 1)
+	// Every in-bounds (offset, size) pair succeeds; everything else fails.
+	for off := int64(-3); off <= 12; off++ {
+		for _, size := range []int64{1, 2, 4, 8} {
+			_, be := obj.LoadInt(off, size, Read)
+			inBounds := off >= 0 && off+size <= 10
+			if inBounds && be != nil {
+				t.Errorf("load(%d,%d) failed: %v", off, size, be)
+			}
+			if !inBounds && be == nil {
+				t.Errorf("load(%d,%d) should be out of bounds", off, size)
+			}
+			if !inBounds && be != nil && be.Kind != OutOfBounds {
+				t.Errorf("load(%d,%d) kind = %v", off, size, be.Kind)
+			}
+		}
+	}
+}
+
+func TestObjectUnderflowFlag(t *testing.T) {
+	obj := NewObject(8, AutoMem, "a", 1)
+	_, be := obj.LoadInt(-1, 1, Read)
+	if be == nil || !be.Underflow() {
+		t.Errorf("negative offset should be an underflow: %v", be)
+	}
+	_, be = obj.LoadInt(8, 1, Read)
+	if be == nil || be.Underflow() {
+		t.Errorf("past-the-end should be an overflow: %v", be)
+	}
+}
+
+func TestObjectIntRoundTrip(t *testing.T) {
+	f := func(v int64, off uint8) bool {
+		obj := NewObject(64, HeapMem, "x", 1)
+		o := int64(off % 56)
+		if be := obj.StoreInt(o, 8, v, Write); be != nil {
+			return false
+		}
+		got, be := obj.LoadInt(o, 8, Read)
+		return be == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectNarrowIntSignExtension(t *testing.T) {
+	obj := NewObject(8, HeapMem, "x", 1)
+	obj.StoreInt(0, 1, 0xFF, Write)
+	v, _ := obj.LoadInt(0, 1, Read)
+	if v != -1 {
+		t.Errorf("i8 load of 0xFF = %d, want -1 (canonical sign-extended)", v)
+	}
+	obj.StoreInt(2, 2, 0x8000, Write)
+	v, _ = obj.LoadInt(2, 2, Read)
+	if v != -32768 {
+		t.Errorf("i16 load = %d", v)
+	}
+}
+
+func TestObjectFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		obj := NewObject(16, HeapMem, "f", 1)
+		if be := obj.StoreFloat(0, 64, v, Write); be != nil {
+			return false
+		}
+		got, be := obj.LoadFloat(0, 64, Read)
+		if be != nil {
+			return false
+		}
+		return got == v || (got != got && v != v) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectRelaxedTypeReinterpretation(t *testing.T) {
+	// The paper's relaxation: a double stored where longs live reads back
+	// as the bit pattern.
+	obj := NewObject(8, HeapMem, "x", 1)
+	obj.StoreFloat(0, 64, 1.5, Write)
+	bits, be := obj.LoadInt(0, 8, Read)
+	if be != nil {
+		t.Fatal(be)
+	}
+	if bits != 0x3FF8000000000000 {
+		t.Errorf("bits = %#x", bits)
+	}
+}
+
+func TestPointerSlotIntegrity(t *testing.T) {
+	target := NewObject(4, HeapMem, "t", 2)
+	obj := NewObject(24, HeapMem, "x", 1)
+	if be := obj.StorePtr(8, Pointer{Obj: target, Off: 2}, Write); be != nil {
+		t.Fatal(be)
+	}
+	p, be := obj.LoadPtr(8, Read)
+	if be != nil || p.Obj != target || p.Off != 2 {
+		t.Fatalf("pointer round trip failed: %v %v", p, be)
+	}
+	// Reading the pointer's bytes as an integer is a type violation.
+	if _, be := obj.LoadInt(8, 8, Read); be == nil || be.Kind != TypeViolation {
+		t.Errorf("int read over pointer slot: %v", be)
+	}
+	// Partially overlapping reads too.
+	if _, be := obj.LoadInt(12, 4, Read); be == nil || be.Kind != TypeViolation {
+		t.Errorf("partial overlap read: %v", be)
+	}
+	// Overwriting with ints kills the pointer.
+	if be := obj.StoreInt(8, 8, 42, Write); be != nil {
+		t.Fatal(be)
+	}
+	if _, be := obj.LoadPtr(8, Read); be == nil || be.Kind != TypeViolation {
+		t.Errorf("pointer should be dead after int overwrite: %v", be)
+	}
+}
+
+func TestNullPointerFromZeroBytes(t *testing.T) {
+	obj := NewObject(16, HeapMem, "z", 1)
+	p, be := obj.LoadPtr(0, Read)
+	if be != nil || !p.IsNull() {
+		t.Errorf("zeroed memory should read as NULL: %v %v", p, be)
+	}
+	obj.StoreInt(0, 1, 1, Write)
+	if _, be := obj.LoadPtr(0, Read); be == nil || be.Kind != TypeViolation {
+		t.Errorf("nonzero ints should not read as a pointer: %v", be)
+	}
+}
+
+func TestStoreNullPtrZeroesBytes(t *testing.T) {
+	obj := NewObject(16, HeapMem, "z", 1)
+	obj.StorePtr(0, Pointer{Obj: obj}, Write)
+	obj.StorePtr(0, Pointer{}, Write)
+	v, be := obj.LoadInt(0, 8, Read)
+	if be != nil || v != 0 {
+		t.Errorf("NULL store should zero bytes: %d %v", v, be)
+	}
+}
+
+func TestFreeSemantics(t *testing.T) {
+	obj := NewObject(8, HeapMem, "h", 1)
+	obj.Free()
+	if !obj.Freed || obj.Data != nil {
+		t.Error("Free must drop the data reference (GC reclaim, Fig. 7)")
+	}
+	if _, be := obj.LoadInt(0, 4, Read); be == nil || be.Kind != UseAfterFree {
+		t.Errorf("access after free: %v", be)
+	}
+	if be := obj.StoreInt(0, 4, 1, Write); be == nil || be.Kind != UseAfterFree {
+		t.Errorf("store after free: %v", be)
+	}
+	if obj.Size() != 8 {
+		t.Error("freed object should remember its size for diagnostics")
+	}
+}
+
+func TestPointerHelpers(t *testing.T) {
+	a := NewObject(8, HeapMem, "a", 1)
+	p := Pointer{Obj: a, Off: 4}
+	q := p.Add(2)
+	if q.Off != 6 || p.Off != 4 {
+		t.Error("Add must not mutate the receiver")
+	}
+	if !p.Equal(Pointer{Obj: a, Off: 4}) || p.Equal(q) {
+		t.Error("Equal broken")
+	}
+	fp := FuncPointer(3)
+	if !fp.IsFunc() || fp.FuncIndex() != 3 || fp.IsNull() {
+		t.Error("function pointer identity broken")
+	}
+	if !(Pointer{}).IsNull() {
+		t.Error("zero pointer should be NULL")
+	}
+}
+
+func TestEvalPtrCmpOrdering(t *testing.T) {
+	a := NewObject(8, HeapMem, "a", 1)
+	b := NewObject(8, HeapMem, "b", 2)
+	p1 := Pointer{Obj: a, Off: 0}
+	p2 := Pointer{Obj: a, Off: 4}
+	p3 := Pointer{Obj: b, Off: 0}
+	if !EvalPtrCmp(ir.Ult, p1, p2) || EvalPtrCmp(ir.Ult, p2, p1) {
+		t.Error("same-object ordering by offset failed")
+	}
+	if !EvalPtrCmp(ir.Ult, p1, p3) {
+		t.Error("cross-object ordering should follow allocation ids")
+	}
+	if !EvalPtrCmp(ir.Ule, p1, p1) || !EvalPtrCmp(ir.Uge, p2, p1) {
+		t.Error("reflexive/inverse comparisons failed")
+	}
+	if !EvalPtrCmp(ir.Eq, p1, p1) || !EvalPtrCmp(ir.Ne, p1, p2) {
+		t.Error("equality failed")
+	}
+}
+
+func TestBugErrorMessages(t *testing.T) {
+	cases := []struct {
+		be   BugError
+		want string
+	}{
+		{BugError{Kind: OutOfBounds, Access: Write, Off: 40, Size: 4, ObjSize: 40, Mem: AutoMem, Obj: "arr", Func: "main"},
+			"invalid write of size 4 at offset 40 of 40-byte stack object 'arr' (buffer overflow) in main"},
+		{BugError{Kind: UseAfterFree, Access: Read, Size: 8, Mem: HeapMem, Obj: "malloc"},
+			"invalid read of size 8 to freed heap object 'malloc'"},
+		{BugError{Kind: DoubleFree, Mem: HeapMem},
+			"double free of heap object"},
+		{BugError{Kind: NullDeref, Access: Read, Size: 4},
+			"NULL pointer dereference (read of size 4 at offset 0)"},
+	}
+	for _, c := range cases {
+		if got := c.be.Error(); got != c.want {
+			t.Errorf("got  %q\nwant %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,727 @@
+// Package corpus is the evaluation's bug corpus: 68 buggy C programs whose
+// ground-truth distribution matches the paper's Tables 1 and 2 cell for
+// cell (61 out-of-bounds accesses split 32 read / 29 write, 8 underflow /
+// 53 overflow, 32 stack / 17 heap / 9 global / 3 main-args; 5 NULL
+// dereferences; 1 use-after-free; 1 variadic-argument error).
+//
+// The paper's corpus came from 63 small GitHub projects; those exact
+// repositories are not reproducible, so each case here is a small, distinct
+// program built around the same bug causes the paper lists in §4.1:
+// unterminated strings, missing NUL space, missing checks, integer
+// overflows, hard-coded sizes, checks performed after the access, and
+// off-by-one comparisons. The five case studies (Figs. 10–14) appear
+// verbatim.
+package corpus
+
+import "fmt"
+
+// Category is the paper's Table 1 bug classification.
+type Category int
+
+const (
+	BufferOverflow Category = iota // spatial (any out-of-bounds access)
+	NullDereference
+	UseAfterFree
+	Varargs
+)
+
+var catNames = [...]string{"buffer-overflow", "null-dereference", "use-after-free", "varargs"}
+
+func (c Category) String() string { return catNames[c] }
+
+// Access and Direction refine OOB cases per Table 2.
+type Access int
+
+const (
+	ReadAccess Access = iota
+	WriteAccess
+)
+
+func (a Access) String() string { return [...]string{"read", "write"}[a] }
+
+// Direction is underflow vs. overflow.
+type Direction int
+
+const (
+	Overflow Direction = iota
+	Underflow
+)
+
+func (d Direction) String() string { return [...]string{"overflow", "underflow"}[d] }
+
+// Mem is the storage class of the overflowed object (Table 2).
+type Mem int
+
+const (
+	Stack Mem = iota
+	Heap
+	Global
+	MainArgs
+)
+
+func (m Mem) String() string { return [...]string{"stack", "heap", "global", "main-args"}[m] }
+
+// Case is one corpus program plus its ground truth.
+type Case struct {
+	Name   string
+	Source string
+	Stdin  string
+	Args   []string
+
+	Category  Category
+	Access    Access
+	Direction Direction
+	Mem       Mem
+
+	// OptimizedAwayAtO3 marks Fig. 3-style bugs that the -O3 pipeline
+	// deletes before any native tool can see them.
+	OptimizedAwayAtO3 bool
+	// ASanBlindSpot marks the 8 bugs neither ASan nor Valgrind finds
+	// (argv, missing interceptors, backend folding, redzone escape,
+	// missing variadic argument).
+	ASanBlindSpot bool
+	// CaseStudy links a program to the paper's Figs. 10-14 ("" if none).
+	CaseStudy string
+	// Fixed is the repaired program, when one is bundled (the paper's
+	// authors submitted fixes for the bugs they found); it must run clean
+	// under every engine.
+	Fixed string
+
+	// construction-time shorthand, copied into the exported fields by the
+	// case builders.
+	truth truth
+	blind bool
+	study string
+}
+
+// All returns the full 68-case corpus in a stable order.
+func All() []Case {
+	var cases []Case
+	cases = append(cases, mainArgsCases()...) // 3
+	cases = append(cases, globalCases()...)   // 9
+	cases = append(cases, heapCases()...)     // 17
+	cases = append(cases, stackCases()...)    // 32
+	cases = append(cases, nullCases()...)     // 5
+	cases = append(cases, uafCase())          // 1
+	cases = append(cases, varargsCase())      // 1
+	for i := range cases {
+		cases[i].Fixed = fixes[cases[i].Name]
+	}
+	return cases
+}
+
+// ---- main() argument vector: 3 cases, all missed natively (Fig. 10) ----
+
+func mainArgsCases() []Case {
+	return []Case{
+		{
+			Name: "argv-direct-index",
+			Source: `#include <stdio.h>
+int main(int argc, char **argv) {
+    printf("%d %s\n", argc, argv[5]);
+    return 0;
+}`,
+			Category: BufferOverflow, Access: ReadAccess, Direction: Overflow, Mem: MainArgs,
+			ASanBlindSpot: true, CaseStudy: "fig10",
+		},
+		{
+			Name: "argv-loop-no-argc",
+			Source: `#include <stdio.h>
+/* Iterates one past the NULL terminator of argv. */
+int main(int argc, char **argv) {
+    int i;
+    for (i = 0; i <= argc + 1; i++) {
+        printf("arg %d: %p\n", i, (void*)argv[i]);
+    }
+    return 0;
+}`,
+			Category: BufferOverflow, Access: ReadAccess, Direction: Overflow, Mem: MainArgs,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "argv-option-scan",
+			Source: `#include <stdio.h>
+#include <string.h>
+/* Assumes a flag is always followed by a value. */
+int main(int argc, char **argv) {
+    int i;
+    for (i = 1; i <= argc; i++) {
+        char *a = argv[i + 1];
+        printf("next: %p\n", (void*)a);
+    }
+    return 0;
+}`,
+			Category: BufferOverflow, Access: ReadAccess, Direction: Overflow, Mem: MainArgs,
+			ASanBlindSpot: true,
+		},
+	}
+}
+
+// ---- globals: 9 cases (5 read / 4 write), two of them in the 8 ----
+
+func globalCases() []Case {
+	cases := []Case{
+		{
+			Name: "global-const-folded",
+			Source: `#include <stdio.h>
+/* Fig. 13: the backend folds the constant-global load even at -O0,
+ * deleting the out-of-bounds read before any tool runs. */
+const int count[7] = {0, 0, 0, 0, 0, 0, 0};
+int main(int argc, char **args) {
+    return count[7];
+}`,
+			Category: BufferOverflow, Access: ReadAccess, Direction: Overflow, Mem: Global,
+			ASanBlindSpot: true, CaseStudy: "fig13",
+		},
+		{
+			Name: "global-redzone-escape",
+			Source: `#include <stdio.h>
+/* Fig. 14: unvalidated user input indexes a global table; the access
+ * jumps far past ASan's redzone into the neighbouring global. */
+const char *strings[7] = {"zero","one","two","three","four","five","six"};
+char scratch[8192];
+int main(void) {
+    int number = 0;
+    scanf("%d", &number);
+    printf("%s\n", strings[number]);
+    return (int)scratch[0];
+}`,
+			Stdin:    "900\n",
+			Category: BufferOverflow, Access: ReadAccess, Direction: Overflow, Mem: Global,
+			ASanBlindSpot: true, CaseStudy: "fig14",
+		},
+	}
+	// Three more global reads, caught by ASan's global redzones.
+	reads := []Case{
+		{
+			Name: "global-table-off-by-one",
+			Source: `#include <stdio.h>
+int weekdays[7] = {1, 2, 3, 4, 5, 6, 7};
+int main(void) {
+    int sum = 0;
+    int i;
+    for (i = 0; i <= 7; i++) {
+        sum += weekdays[i];
+    }
+    printf("%d\n", sum);
+    return 0;
+}`,
+		},
+		{
+			Name: "global-string-unterminated",
+			Source: `#include <stdio.h>
+/* The initializer exactly fills the array: no NUL terminator. */
+char tag[4] = "WARN";
+int main(void) {
+    int n = 0;
+    while (tag[n] != '\0') {
+        n++;
+    }
+    printf("%d\n", n);
+    return 0;
+}`,
+		},
+		{
+			Name: "global-hardcoded-size",
+			Source: `#include <stdio.h>
+short codes[10] = {1,2,3,4,5,6,7,8,9,10};
+int main(void) {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 16; i++) { /* stale hard-coded bound */
+        sum += codes[i];
+    }
+    printf("%d\n", sum);
+    return 0;
+}`,
+		},
+	}
+	for i := range reads {
+		reads[i].Category = BufferOverflow
+		reads[i].Access = ReadAccess
+		reads[i].Direction = Overflow
+		reads[i].Mem = Global
+	}
+	cases = append(cases, reads...)
+
+	writes := []Case{
+		{
+			Name: "global-counter-write",
+			Source: `#include <stdio.h>
+int counters[8];
+int main(void) {
+    int i;
+    for (i = 1; i <= 8; i++) { /* writes counters[8] */
+        counters[i - 1] = i;
+        counters[i] = 0;
+    }
+    printf("%d\n", counters[3]);
+    return 0;
+}`,
+		},
+		{
+			Name: "global-strcpy-too-long",
+			Source: `#include <string.h>
+#include <stdio.h>
+char name[8];
+int main(void) {
+    strcpy(name, "excessively-long");
+    printf("%s\n", name);
+    return 0;
+}`,
+		},
+		{
+			Name: "global-histogram-range",
+			Source: `#include <stdio.h>
+int hist[10];
+int main(void) {
+    int values[5] = {3, 7, 10, 2, 4}; /* 10 is out of range */
+    int i;
+    for (i = 0; i < 5; i++) {
+        hist[values[i]]++;
+    }
+    printf("%d\n", hist[3]);
+    return 0;
+}`,
+		},
+		{
+			Name: "global-sentinel-write",
+			Source: `#include <stdio.h>
+double samples[16];
+int main(void) {
+    int n = 16;
+    samples[n] = -1.0; /* sentinel one past the end */
+    printf("%f\n", samples[0]);
+    return 0;
+}`,
+		},
+	}
+	for i := range writes {
+		writes[i].Category = BufferOverflow
+		writes[i].Access = WriteAccess
+		writes[i].Direction = Overflow
+		writes[i].Mem = Global
+	}
+	// strcpy is intercepted by ASan; the others hit global redzones.
+	return append(cases, writes...)
+}
+
+// ---- heap: 17 cases (9 read / 8 write; 2 underflows; 2 in the 8) ----
+
+func heapCases() []Case {
+	reads := []Case{
+		{
+			Name: "heap-printf-ld-int",
+			Source: `#include <stdio.h>
+/* Fig. 12: %ld reads 8 bytes where a 4-byte int was passed. The
+ * interceptor checks only pointer arguments, so ASan is silent. */
+int counter = 7;
+int main(void) {
+    printf("counter: %ld\n", counter);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+			blind: true, study: "fig12",
+		},
+		{
+			Name: "heap-missing-nul-space",
+			Source: `#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+    const char *src = "hello world";
+    char *dst = malloc(strlen(src)); /* forgot +1 */
+    strcpy(dst, src);
+    printf("%s\n", dst);
+    free(dst);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-read-past-calloc",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    int *v = calloc(6, sizeof(int));
+    int i, sum = 0;
+    for (i = 0; i <= 6; i++) {
+        sum += v[i];
+    }
+    printf("%d\n", sum);
+    free(v);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-read-underflow",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    int *v = malloc(4 * sizeof(int));
+    int i;
+    for (i = 0; i < 4; i++) v[i] = i;
+    i = 0;
+    printf("%d\n", v[i - 1]); /* index before the block */
+    free(v);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Underflow, Heap},
+		},
+		{
+			Name: "heap-strlen-unterminated",
+			Source: `#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char *buf = malloc(4);
+    buf[0] = 'a'; buf[1] = 'b'; buf[2] = 'c'; buf[3] = 'd'; /* no NUL */
+    printf("%d\n", (int)strlen(buf));
+    free(buf);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-check-after-read",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int get(int *a, int n, int i) {
+    int v = a[i];          /* access first... */
+    if (i >= n) return -1; /* ...check second */
+    return v;
+}
+int main(void) {
+    int *a = malloc(5 * sizeof(int));
+    int i;
+    for (i = 0; i < 5; i++) a[i] = i * i;
+    printf("%d\n", get(a, 5, 5));
+    free(a);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-strchr-runs-off",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    char *s = malloc(3);
+    int i;
+    s[0] = 'x'; s[1] = 'y'; s[2] = 'z';
+    for (i = 0; s[i] != 'q'; i++) { /* 'q' never present */
+        if (i > 100) break;
+    }
+    printf("%d\n", i);
+    free(s);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-matrix-row-swap",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    int rows = 3, cols = 4;
+    int *m = malloc(rows * cols * sizeof(int));
+    int r, c, sum = 0;
+    for (r = 0; r < rows; r++)
+        for (c = 0; c < cols; c++)
+            m[r * cols + c] = r + c;
+    /* transposed indexing walks past the end */
+    for (c = 0; c < cols; c++)
+        for (r = 0; r < rows; r++)
+            sum += m[c * cols + r];
+    printf("%d\n", sum);
+    free(m);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-off-by-one-copy",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    int n = 8;
+    long *src = malloc(n * sizeof(long));
+    long *dst = malloc(n * sizeof(long));
+    int i;
+    for (i = 0; i < n; i++) src[i] = i;
+    for (i = 1; i <= n; i++) dst[i - 1] = src[i]; /* reads src[8] */
+    printf("%ld\n", dst[0]);
+    free(src); free(dst);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-memcmp-short-key",
+			Source: `#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char *stored = malloc(16);
+    char *key = malloc(4); /* compared as if it were 16 bytes */
+    memset(stored, 'a', 16);
+    memset(key, 'a', 4);
+    printf("%d\n", memcmp(stored, key, 16));
+    free(stored);
+    free(key);
+    return 0;
+}`,
+			truth: truth{ReadAccess, Overflow, Heap},
+		},
+	}
+	writes := []Case{
+		{
+			Name: "heap-int-overflow-alloc",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    /* short-typed size computation wraps to a small allocation */
+    short n = 300;
+    short bytes = (short)(n * 128); /* wraps negative -> small alloc */
+    char *p;
+    int count = 16;
+    if (bytes < 64) bytes = 64;
+    p = malloc(bytes);
+    {
+        int i;
+        for (i = 0; i < count * 8; i++) {
+            p[i] = (char)i;
+        }
+    }
+    printf("%d\n", p[5]);
+    free(p);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-write-underflow",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    char *p = malloc(16);
+    char *q = p + 4;
+    q[-5] = 'x'; /* one byte before the block */
+    printf("%d\n", p[0]);
+    free(p);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Underflow, Heap},
+		},
+		{
+			Name: "heap-terminator-slot",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    int n = 10;
+    int *p = malloc(n * sizeof(int));
+    int i;
+    for (i = 0; i < n; i++) p[i] = i;
+    p[n] = -1; /* sentinel beyond the block */
+    printf("%d\n", p[2]);
+    free(p);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-gets-overflow",
+			Source: `#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    char *line = malloc(8);
+    gets(line); /* classic */
+    printf("%s\n", line);
+    free(line);
+    return 0;
+}`,
+			Stdin: "this-line-is-far-longer-than-eight-bytes\n",
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-append-no-grow",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+struct vec { int len; int cap; int *data; };
+void push(struct vec *v, int x) {
+    v->data[v->len++] = x; /* never checks cap */
+}
+int main(void) {
+    struct vec v;
+    int i;
+    v.len = 0; v.cap = 4;
+    v.data = malloc(v.cap * sizeof(int));
+    for (i = 0; i < 6; i++) push(&v, i);
+    printf("%d\n", v.data[0]);
+    free(v.data);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-sprintf-overflow",
+			Source: `#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    char *buf = malloc(8);
+    sprintf(buf, "value=%d", 123456789); /* 15 chars + NUL */
+    printf("%s\n", buf);
+    free(buf);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+		{
+			Name: "heap-strcat-no-room",
+			Source: `#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char *s = malloc(8);
+    strcpy(s, "abcd");
+    strcat(s, "efghijkl"); /* 13 bytes into 8 */
+    printf("%s\n", s);
+    free(s);
+    return 0;
+}`,
+			truth: truth{WriteAccess, Overflow, Heap},
+		},
+	}
+	var out []Case
+	for _, c := range append(reads, writes...) {
+		c.Category = BufferOverflow
+		c.Access = c.truth.access
+		c.Direction = c.truth.dir
+		c.Mem = c.truth.mem
+		c.ASanBlindSpot = c.blind
+		c.CaseStudy = c.study
+		out = append(out, c)
+	}
+	return out
+}
+
+// truth is internal shorthand used while building cases.
+type truth struct {
+	access Access
+	dir    Direction
+	mem    Mem
+}
+
+// ---- NULL dereferences: 5 cases ----
+
+func nullCases() []Case {
+	srcs := []struct {
+		name, src string
+	}{
+		{"null-unchecked-malloc", `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+    int *p = malloc((unsigned long)1 << 62); /* fails */
+    *p = 42;
+    printf("%d\n", *p);
+    return 0;
+}`},
+		{"null-strchr-result", `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    const char *s = "no colon here";
+    char *colon = strchr(s, ':');
+    printf("%c\n", *colon); /* NULL when absent */
+    return 0;
+}`},
+		{"null-empty-list-head", `#include <stdlib.h>
+#include <stdio.h>
+struct node { int v; struct node *next; };
+int main(void) {
+    struct node *head = NULL;
+    printf("%d\n", head->v);
+    return 0;
+}`},
+		{"null-write-through", `#include <stdio.h>
+int store(int *out, int v) { *out = v; return 0; }
+int main(void) {
+    store((void*)0, 7);
+    return 0;
+}`},
+		{"null-fgets-eof", `#include <stdio.h>
+#include <string.h>
+int main(void) {
+    char buf[32];
+    char *line = fgets(buf, 32, stdin); /* EOF -> NULL */
+    buf[0] = '\0';
+    printf("%d\n", (int)strlen(line));
+    return 0;
+}`},
+	}
+	var out []Case
+	for i, s := range srcs {
+		acc := ReadAccess
+		if i == 3 {
+			acc = WriteAccess
+		}
+		out = append(out, Case{
+			Name: s.name, Source: s.src,
+			Category: NullDereference, Access: acc, Direction: Overflow, Mem: Heap,
+		})
+	}
+	return out
+}
+
+func uafCase() Case {
+	return Case{
+		Name: "uaf-config-reload",
+		Source: `#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+struct config { int verbose; char name[16]; };
+int main(void) {
+    struct config *cfg = malloc(sizeof(struct config));
+    cfg->verbose = 1;
+    strcpy(cfg->name, "default");
+    free(cfg);
+    printf("%d\n", cfg->verbose); /* stale pointer */
+    return 0;
+}`,
+		Category: UseAfterFree, Access: ReadAccess, Direction: Overflow, Mem: Heap,
+	}
+}
+
+func varargsCase() Case {
+	return Case{
+		Name: "varargs-missing-argument",
+		Source: `#include <stdio.h>
+/* The format names two conversions; only one argument is passed. */
+int main(void) {
+    printf("%d %d\n", 1);
+    return 0;
+}`,
+		Category: Varargs, Access: ReadAccess, Direction: Overflow, Mem: Heap,
+		ASanBlindSpot: true, CaseStudy: "fig-missing-vararg",
+	}
+}
+
+// Count sanity-checks the corpus against the paper's totals; tests call it.
+func Count() (total, oob, null, uaf, va int) {
+	for _, c := range All() {
+		total++
+		switch c.Category {
+		case BufferOverflow:
+			oob++
+		case NullDereference:
+			null++
+		case UseAfterFree:
+			uaf++
+		case Varargs:
+			va++
+		}
+	}
+	return
+}
+
+var _ = fmt.Sprintf

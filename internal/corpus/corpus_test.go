@@ -1,0 +1,82 @@
+package corpus
+
+import "testing"
+
+// TestDistributionMatchesPaper checks Tables 1 and 2 cell for cell.
+func TestDistributionMatchesPaper(t *testing.T) {
+	total, oob, null, uaf, va := Count()
+	if total != 68 {
+		t.Errorf("total = %d, want 68", total)
+	}
+	if oob != 61 || null != 5 || uaf != 1 || va != 1 {
+		t.Errorf("Table 1 = OOB %d / NULL %d / UAF %d / VA %d, want 61/5/1/1", oob, null, uaf, va)
+	}
+	var r, w, u, o int
+	mems := map[Mem]int{}
+	for _, c := range All() {
+		if c.Category != BufferOverflow {
+			continue
+		}
+		if c.Access == ReadAccess {
+			r++
+		} else {
+			w++
+		}
+		if c.Direction == Underflow {
+			u++
+		} else {
+			o++
+		}
+		mems[c.Mem]++
+	}
+	if r != 32 || w != 29 {
+		t.Errorf("reads/writes = %d/%d, want 32/29", r, w)
+	}
+	if u != 8 || o != 53 {
+		t.Errorf("under/over = %d/%d, want 8/53", u, o)
+	}
+	if mems[Stack] != 32 || mems[Heap] != 17 || mems[Global] != 9 || mems[MainArgs] != 3 {
+		t.Errorf("mem kinds = stack %d heap %d global %d args %d, want 32/17/9/3",
+			mems[Stack], mems[Heap], mems[Global], mems[MainArgs])
+	}
+}
+
+func TestBlindSpotsAndOptimizedAway(t *testing.T) {
+	blind, opt3 := 0, 0
+	names := map[string]bool{}
+	for _, c := range All() {
+		if names[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.ASanBlindSpot {
+			blind++
+		}
+		if c.OptimizedAwayAtO3 {
+			opt3++
+		}
+		if c.Source == "" {
+			t.Errorf("%s: empty source", c.Name)
+		}
+	}
+	if blind != 8 {
+		t.Errorf("blind spots = %d, want 8 (the paper's 8 bugs)", blind)
+	}
+	if opt3 != 4 {
+		t.Errorf("optimized away at -O3 = %d, want 4 (60 - 56)", opt3)
+	}
+}
+
+func TestCaseStudiesPresent(t *testing.T) {
+	want := map[string]bool{"fig10": false, "fig11": false, "fig12": false, "fig13": false, "fig14": false}
+	for _, c := range All() {
+		if _, ok := want[c.CaseStudy]; ok {
+			want[c.CaseStudy] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("case study %s missing from corpus", k)
+		}
+	}
+}

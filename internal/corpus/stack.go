@@ -1,0 +1,483 @@
+package corpus
+
+// stackCases builds the 32 stack out-of-bounds cases: 15 reads (12 overflow
+// + 3 underflow) and 17 writes (14 overflow + 3 underflow). One read (the
+// strtok delimiter, Fig. 11) is invisible to both baseline tools; four
+// writes are Fig. 3-style stores to otherwise-unused arrays that the -O3
+// pipeline deletes.
+func stackCases() []Case {
+	readsOverflow := []Case{
+		{
+			Name: "stack-strtok-delim",
+			Source: `#include <string.h>
+#include <stdio.h>
+/* Fig. 11: the delimiter array has no room for the terminator, and the
+ * scan happens inside libc where ASan has no interceptor. */
+char buf[32] = "alpha\nbeta";
+int main(void) {
+    const char t[1] = {'\n'};
+    char *tok = strtok(buf, t);
+    while (tok != NULL) {
+        puts(tok);
+        tok = strtok(NULL, t);
+    }
+    return 0;
+}`,
+			blind: true, study: "fig11",
+		},
+		{
+			Name: "stack-off-by-one-sum",
+			Source: `#include <stdio.h>
+int main(void) {
+    int grades[5] = {90, 85, 77, 92, 60};
+    int sum = 0;
+    int i;
+    for (i = 0; i <= 5; i++) {
+        sum += grades[i];
+    }
+    printf("avg=%d\n", sum / 5);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-unterminated-strlen",
+			Source: `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char code[4] = "FULL"; /* exactly fills: no NUL */
+    printf("%d\n", (int)strlen(code));
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-hardcoded-count",
+			Source: `#include <stdio.h>
+int main(void) {
+    double temps[12];
+    double total = 0.0;
+    int i;
+    for (i = 0; i < 12; i++) temps[i] = 20.0 + i;
+    for (i = 0; i < 14; i++) { /* stale count */
+        total += temps[i];
+    }
+    printf("%.1f\n", total);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-binsearch-hi",
+			Source: `#include <stdio.h>
+int main(void) {
+    int sorted[8] = {1, 3, 5, 7, 9, 11, 13, 15};
+    int lo = 0, hi = 8; /* hi should be 7 */
+    int target = 20;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (sorted[mid] == target) break;
+        if (sorted[mid] < target) lo = mid + 1; else hi = mid - 1;
+    }
+    printf("%d\n", lo);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-read-past-strncpy",
+			Source: `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char short_buf[4];
+    char out[16];
+    int i, n = 0;
+    strncpy(short_buf, "abcdef", 4); /* no terminator fits */
+    for (i = 0; short_buf[i] != '\0'; i++) {
+        out[n++] = short_buf[i];
+        if (n >= 15) break;
+    }
+    out[n] = '\0';
+    printf("%s\n", out);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-2d-column-walk",
+			Source: `#include <stdio.h>
+int main(void) {
+    int grid[3][3] = {{1,2,3},{4,5,6},{7,8,9}};
+    int sum = 0;
+    int c;
+    for (c = 0; c < 3; c++) {
+        sum += grid[2][c + 1]; /* last row, columns 1..3 */
+    }
+    printf("%d\n", sum);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-sentinel-search",
+			Source: `#include <stdio.h>
+int main(void) {
+    int vals[6] = {4, 8, 15, 16, 23, 42};
+    int i = 0;
+    while (vals[i] != 99) { /* sentinel never stored */
+        i++;
+        if (i > 50) break;
+    }
+    printf("%d\n", i);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-struct-array-last",
+			Source: `#include <stdio.h>
+struct pair { int a; int b; };
+int main(void) {
+    struct pair ps[4] = {{1,2},{3,4},{5,6},{7,8}};
+    int n = 4;
+    printf("%d\n", ps[n].b); /* ps[4] is past the end */
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-length-vs-index",
+			Source: `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char word[8];
+    strcpy(word, "seven");
+    /* strlen == 5; index 5 is the NUL, 6 reads uninitialized, 8 is OOB */
+    printf("%c\n", word[strlen(word) + 3]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-reverse-inclusive",
+			Source: `#include <stdio.h>
+int main(void) {
+    char s[6] = "hello";
+    char rev[6];
+    int n = 5;
+    int i;
+    for (i = 0; i <= n; i++) {
+        rev[i] = s[n - i + 1]; /* first iteration reads s[6] */
+    }
+    rev[5] = '\0';
+    printf("%s\n", rev);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-arg-count-mismatch",
+			Source: `#include <stdio.h>
+int sum3(int *xs) { return xs[0] + xs[1] + xs[2]; }
+int main(void) {
+    int two[2] = {10, 20}; /* callee expects three */
+    printf("%d\n", sum3(two));
+    return 0;
+}`,
+		},
+	}
+	for i := range readsOverflow {
+		readsOverflow[i].truth = truth{ReadAccess, Overflow, Stack}
+	}
+
+	readsUnderflow := []Case{
+		{
+			Name: "stack-scan-backwards",
+			Source: `#include <stdio.h>
+int main(void) {
+    char line[16] = "key value";
+    int i = 0;
+    /* walk back to the start of the previous word; misses index 0 */
+    while (line[i] != ' ') i++;
+    while (i >= -50 && line[i] != '.') i--; /* walks past the front */
+    printf("%d\n", i);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-prev-element",
+			Source: `#include <stdio.h>
+int main(void) {
+    int deltas[8];
+    int i;
+    for (i = 0; i < 8; i++) deltas[i] = i * 2;
+    /* "previous" of the first element */
+    printf("%d\n", deltas[0] - deltas[0 - 1]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-decrement-before-check",
+			Source: `#include <stdio.h>
+int main(void) {
+    int stackv[4] = {1, 2, 3, 4};
+    int top = 0;
+    int popped;
+    popped = stackv[--top]; /* pops from an empty stack */
+    printf("%d\n", popped);
+    return 0;
+}`,
+		},
+	}
+	for i := range readsUnderflow {
+		readsUnderflow[i].truth = truth{ReadAccess, Underflow, Stack}
+	}
+
+	writesOverflow := []Case{
+		{
+			Name: "stack-fig3-unused-array",
+			Source: `#include <stdio.h>
+/* Fig. 3 verbatim: the array is never read, so -O3 deletes the stores
+ * and the loop — and the bug. */
+int test(int length) {
+    int arr[10];
+    int i;
+    for (i = 0; i < length; i++) {
+        arr[i] = i;
+    }
+    return 0;
+}
+int main(void) {
+    printf("%d\n", test(20));
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-fig3-scratch-log",
+			Source: `#include <stdio.h>
+void record(int n) {
+    char scratch[16];
+    int i;
+    for (i = 0; i < n; i++) scratch[i] = (char)i; /* scratch unused */
+}
+int main(void) {
+    record(40);
+    printf("done\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-fig3-padded-init",
+			Source: `#include <stdio.h>
+int main(void) {
+    long pad[4];
+    int i;
+    for (i = 0; i < 9; i++) pad[i] = 0; /* pad never read again */
+    printf("ok\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-fig3-checksum-buf",
+			Source: `#include <stdio.h>
+void fill(short *unused_out) {
+    short tmp[6];
+    int i;
+    for (i = 0; i <= 6; i++) tmp[i] = (short)(i * 3);
+    (void)unused_out;
+}
+int main(void) {
+    fill((void*)0);
+    printf("filled\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-strcpy-small-buf",
+			Source: `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char initials[4];
+    strcpy(initials, "toolong"); /* 8 bytes into 4 */
+    printf("%s\n", initials);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-gets-classic",
+			Source: `#include <stdio.h>
+int main(void) {
+    char nick[8];
+    gets(nick);
+    printf("hi %s\n", nick);
+    return 0;
+}`,
+			Stdin: "a-name-that-is-way-too-long\n",
+		},
+		{
+			Name: "stack-scanf-string",
+			Source: `#include <stdio.h>
+int main(void) {
+    char word[4];
+    scanf("%s", word);
+    printf("%s\n", word);
+    return 0;
+}`,
+			Stdin: "overlong-token\n",
+		},
+		{
+			Name: "stack-sprintf-date",
+			Source: `#include <stdio.h>
+int main(void) {
+    char date[8];
+    sprintf(date, "%04d-%02d-%02d", 2017, 9, 30); /* 10 chars + NUL */
+    printf("%s\n", date);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-inclusive-fill",
+			Source: `#include <stdio.h>
+int main(void) {
+    int squares[10];
+    int i;
+    for (i = 1; i <= 10; i++) {
+        squares[i] = i * i; /* shifts by one; writes squares[10] */
+    }
+    printf("%d\n", squares[3]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-append-terminator",
+			Source: `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char path[8] = "a/b/c/d"; /* 7 chars + NUL fills it */
+    int n = (int)strlen(path);
+    path[n] = '/';
+    path[n + 1] = '\0'; /* writes path[8] */
+    printf("%s\n", path);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-swap-past-end",
+			Source: `#include <stdio.h>
+int main(void) {
+    int ring[6] = {0, 1, 2, 3, 4, 5};
+    int i;
+    for (i = 0; i < 6; i += 2) {
+        int t = ring[i];
+        ring[i] = ring[i + 1];
+        ring[i + 1] = t; /* fine until i+1 == 6? no: i=4 -> 5 ok; rotate below */
+    }
+    for (i = 1; i <= 6; i++) ring[i] = ring[i - 1]; /* writes ring[6] */
+    printf("%d\n", ring[0]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-matrix-flatten",
+			Source: `#include <stdio.h>
+int main(void) {
+    int flat[9];
+    int r, c;
+    for (r = 0; r < 3; r++) {
+        for (c = 0; c < 3; c++) {
+            flat[r * 4 + c] = r * 3 + c; /* stride 4 on a 3x3 */
+        }
+    }
+    printf("%d\n", flat[0]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-null-target-write",
+			Source: `#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char id[6];
+    memset(id, 'x', 7); /* one past the buffer */
+    printf("%c\n", id[0]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-concat-loop",
+			Source: `#include <stdio.h>
+int main(void) {
+    char joined[10];
+    const char *words[3] = {"one", "two", "three"};
+    int n = 0;
+    int w;
+    int i;
+    for (w = 0; w < 3; w++) {
+        for (i = 0; words[w][i] != '\0'; i++) {
+            joined[n++] = words[w][i]; /* 11 chars into 10 */
+        }
+    }
+    joined[9] = '\0';
+    printf("%s\n", joined);
+    return 0;
+}`,
+		},
+	}
+	for i := range writesOverflow {
+		writesOverflow[i].truth = truth{WriteAccess, Overflow, Stack}
+	}
+	// The four Fig. 3-style cases are the first four writes.
+	for i := 0; i < 4; i++ {
+		writesOverflow[i].OptimizedAwayAtO3 = true
+	}
+	writesOverflow[0].study = "fig3"
+
+	writesUnderflow := []Case{
+		{
+			Name: "stack-clear-backwards",
+			Source: `#include <stdio.h>
+int main(void) {
+    int window[8];
+    int i;
+    for (i = 7; i >= -1; i--) { /* one too far down */
+        window[i] = 0;
+    }
+    printf("%d\n", window[0]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-queue-push-front",
+			Source: `#include <stdio.h>
+int main(void) {
+    int queue[6];
+    int head = 0;
+    queue[0] = 7;
+    queue[--head] = 99; /* pushes to the "front" of an empty queue */
+    printf("%d %d\n", head, queue[0]);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-prefix-store",
+			Source: `#include <stdio.h>
+int main(void) {
+    char frame[12];
+    char *payload = frame + 0;
+    payload[-1] = (char)0xff; /* "header" before the buffer */
+    frame[0] = 'p';
+    printf("%d\n", frame[0]);
+    return 0;
+}`,
+		},
+	}
+	for i := range writesUnderflow {
+		writesUnderflow[i].truth = truth{WriteAccess, Underflow, Stack}
+	}
+
+	var out []Case
+	for _, group := range [][]Case{readsOverflow, readsUnderflow, writesOverflow, writesUnderflow} {
+		for _, c := range group {
+			c.Category = BufferOverflow
+			c.Access = c.truth.access
+			c.Direction = c.truth.dir
+			c.Mem = c.truth.mem
+			c.ASanBlindSpot = c.blind
+			if c.CaseStudy == "" {
+				c.CaseStudy = c.study
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}

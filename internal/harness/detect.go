@@ -1,0 +1,236 @@
+// Package harness drives the paper's experiments: the §4.1 detection matrix
+// over the bug corpus (Tables 1–2, the tool comparison, the five case
+// studies) and the §4.2–4.3 performance measurements (start-up, warm-up,
+// peak). cmd/bugbench, cmd/perfbench, and the repository's bench_test.go
+// are thin wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	sulong "repro"
+	"repro/internal/corpus"
+	"repro/internal/nativemem"
+)
+
+// Tool identifies one column of the detection matrix.
+type Tool int
+
+const (
+	SafeSulong Tool = iota
+	ASanO0
+	ASanO3
+	ValgrindO0
+	ValgrindO3
+	NativeO0
+	toolCount
+)
+
+var toolNames = [...]string{
+	SafeSulong: "SafeSulong",
+	ASanO0:     "ASan -O0",
+	ASanO3:     "ASan -O3",
+	ValgrindO0: "Valgrind -O0",
+	ValgrindO3: "Valgrind -O3",
+	NativeO0:   "Native -O0",
+}
+
+func (t Tool) String() string { return toolNames[t] }
+
+// Tools lists the matrix columns in display order.
+func Tools() []Tool {
+	return []Tool{SafeSulong, ASanO0, ASanO3, ValgrindO0, ValgrindO3, NativeO0}
+}
+
+func (t Tool) config() sulong.Config {
+	switch t {
+	case SafeSulong:
+		return sulong.Config{Engine: sulong.EngineSafeSulong}
+	case ASanO0:
+		return sulong.Config{Engine: sulong.EngineASan, OptLevel: 0}
+	case ASanO3:
+		return sulong.Config{Engine: sulong.EngineASan, OptLevel: 3}
+	case ValgrindO0:
+		return sulong.Config{Engine: sulong.EngineMemcheck, OptLevel: 0}
+	case ValgrindO3:
+		return sulong.Config{Engine: sulong.EngineMemcheck, OptLevel: 3}
+	case NativeO0:
+		return sulong.Config{Engine: sulong.EngineNative, OptLevel: 0}
+	}
+	return sulong.Config{}
+}
+
+// Detection is one cell of the matrix.
+type Detection struct {
+	Detected bool
+	Report   string // the tool's message, when one was produced
+	Crashed  bool   // the program trapped (SIGSEGV-style)
+	RunError string // infrastructure failure (should be empty)
+}
+
+// MatrixResult is the full detection matrix.
+type MatrixResult struct {
+	Cases  []corpus.Case
+	Cells  map[string]map[Tool]Detection // case name -> tool -> cell
+	Totals map[Tool]int
+}
+
+// RunCase executes one corpus case under one tool and classifies the result.
+func RunCase(c corpus.Case, tool Tool) Detection {
+	cfg := tool.config()
+	cfg.Args = c.Args
+	if c.Stdin != "" {
+		cfg.Stdin = strings.NewReader(c.Stdin)
+	}
+	cfg.MaxSteps = 50_000_000
+	res, err := sulong.Run(c.Source, cfg)
+	if err != nil {
+		return Detection{RunError: err.Error()}
+	}
+	d := Detection{}
+	if res.Bug != nil {
+		d.Detected = true
+		d.Report = res.Bug.Error()
+		return d
+	}
+	if res.Fault != nil {
+		d.Crashed = true
+		d.Report = res.Fault.Error()
+		// A NULL dereference traps on the zero page; every tool (and the
+		// bare machine) observes that crash, which the paper counts as
+		// "could also have been found without a bug-finding tool".
+		if f, ok := res.Fault.(*nativemem.Fault); ok && f.Addr < nativemem.PageSize {
+			d.Detected = true
+		}
+	}
+	return d
+}
+
+// RunDetectionMatrix runs every corpus case under every tool.
+func RunDetectionMatrix() *MatrixResult {
+	cases := corpus.All()
+	m := &MatrixResult{
+		Cases:  cases,
+		Cells:  make(map[string]map[Tool]Detection, len(cases)),
+		Totals: map[Tool]int{},
+	}
+	for _, c := range cases {
+		row := map[Tool]Detection{}
+		for _, tool := range Tools() {
+			cell := RunCase(c, tool)
+			row[tool] = cell
+			if cell.Detected {
+				m.Totals[tool]++
+			}
+		}
+		m.Cells[c.Name] = row
+	}
+	return m
+}
+
+// Table1 aggregates detected bugs by paper category (Safe Sulong's column,
+// which detects the full corpus).
+func (m *MatrixResult) Table1() map[corpus.Category]int {
+	out := map[corpus.Category]int{}
+	for _, c := range m.Cases {
+		if m.Cells[c.Name][SafeSulong].Detected {
+			out[c.Category]++
+		}
+	}
+	return out
+}
+
+// Table2 aggregates the out-of-bounds cases by read/write, direction, and
+// memory kind.
+func (m *MatrixResult) Table2() (rw map[corpus.Access]int, dir map[corpus.Direction]int, mem map[corpus.Mem]int) {
+	rw = map[corpus.Access]int{}
+	dir = map[corpus.Direction]int{}
+	mem = map[corpus.Mem]int{}
+	for _, c := range m.Cases {
+		if c.Category != corpus.BufferOverflow || !m.Cells[c.Name][SafeSulong].Detected {
+			continue
+		}
+		rw[c.Access]++
+		dir[c.Direction]++
+		mem[c.Mem]++
+	}
+	return
+}
+
+// MissedByBoth lists bugs found by Safe Sulong but by neither ASan nor
+// Valgrind at either optimization level — the paper's "8 errors".
+func (m *MatrixResult) MissedByBoth() []string {
+	var out []string
+	for _, c := range m.Cases {
+		row := m.Cells[c.Name]
+		if row[SafeSulong].Detected &&
+			!row[ASanO0].Detected && !row[ASanO3].Detected &&
+			!row[ValgrindO0].Detected && !row[ValgrindO3].Detected {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render prints the matrix in the shape of the paper's §4.1 discussion.
+func (m *MatrixResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detection matrix over %d corpus bugs\n\n", len(m.Cases))
+
+	t1 := m.Table1()
+	b.WriteString("Table 1. Error distribution of the detected bugs\n")
+	fmt.Fprintf(&b, "  Buffer overflows    %2d\n", t1[corpus.BufferOverflow])
+	fmt.Fprintf(&b, "  NULL dereferences   %2d\n", t1[corpus.NullDereference])
+	fmt.Fprintf(&b, "  Use-after-free      %2d\n", t1[corpus.UseAfterFree])
+	fmt.Fprintf(&b, "  Varargs             %2d\n\n", t1[corpus.Varargs])
+
+	rw, dir, mem := m.Table2()
+	b.WriteString("Table 2. Distribution of out-of-bounds accesses\n")
+	fmt.Fprintf(&b, "  Read %2d / Write %2d   Underflow %2d / Overflow %2d\n",
+		rw[corpus.ReadAccess], rw[corpus.WriteAccess], dir[corpus.Underflow], dir[corpus.Overflow])
+	fmt.Fprintf(&b, "  Stack %2d  Heap %2d  Global %2d  Main args %2d\n\n",
+		mem[corpus.Stack], mem[corpus.Heap], mem[corpus.Global], mem[corpus.MainArgs])
+
+	b.WriteString("Tool comparison (bugs detected)\n")
+	for _, tool := range Tools() {
+		fmt.Fprintf(&b, "  %-14s %2d / %d\n", tool, m.Totals[tool], len(m.Cases))
+	}
+	b.WriteString("\nFound by Safe Sulong, missed by ASan and Valgrind at -O0 and -O3:\n")
+	for _, name := range m.MissedByBoth() {
+		fmt.Fprintf(&b, "  - %s\n", name)
+	}
+	return b.String()
+}
+
+// CaseStudies runs only the five paper figures and reports per-tool results.
+func CaseStudies() string {
+	var b strings.Builder
+	for _, c := range corpus.All() {
+		if c.CaseStudy == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "%s (%s)\n", c.CaseStudy, c.Name)
+		for _, tool := range Tools() {
+			cell := RunCase(c, tool)
+			status := "missed"
+			if cell.Detected {
+				status = "DETECTED"
+			} else if cell.Crashed {
+				status = "crashed"
+			}
+			fmt.Fprintf(&b, "  %-14s %-9s %s\n", tool, status, firstLine(cell.Report))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,317 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	sulong "repro"
+	"repro/internal/benchprog"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/jit"
+	"repro/internal/nativevm"
+)
+
+// PerfConfig is one performance configuration (Fig. 16's x-axis groups).
+type PerfConfig int
+
+const (
+	ClangO0         PerfConfig = iota // native machine, unoptimized IR
+	ClangO3                           // native machine, optimized IR
+	ASanPerf                          // ASan-instrumented, unoptimized IR
+	ValgrindPerf                      // memcheck-hosted, unoptimized IR
+	SafeSulongPerf                    // managed engine with the tier-1 compiler
+	SafeSulongNoJIT                   // ablation: tier-0 interpreter only
+)
+
+var perfNames = [...]string{
+	ClangO0: "Clang -O0", ClangO3: "Clang -O3", ASanPerf: "ASan -O0",
+	ValgrindPerf: "Valgrind", SafeSulongPerf: "Safe Sulong", SafeSulongNoJIT: "Safe Sulong (no JIT)",
+}
+
+func (p PerfConfig) String() string { return perfNames[p] }
+
+// PerfConfigs lists Fig. 16's configurations (Valgrind is measured but
+// plotted separately, as in the paper).
+func PerfConfigs() []PerfConfig {
+	return []PerfConfig{ClangO0, ClangO3, ASanPerf, ValgrindPerf, SafeSulongPerf}
+}
+
+// Runner executes one program repeatedly in-process (the paper's warm-up
+// harness keeps state, letting the dynamic compiler reach a steady state).
+type Runner interface {
+	RunIteration() error
+	// CompiledFunctions reports tier-1 compilations so far (managed only).
+	CompiledFunctions() int
+}
+
+type managedRunner struct {
+	eng      *core.Engine
+	compiled int
+}
+
+func (r *managedRunner) RunIteration() error {
+	_, err := r.eng.Run()
+	return err
+}
+
+func (r *managedRunner) CompiledFunctions() int { return r.compiled }
+
+type nativeRunner struct {
+	m *nativevm.Machine
+}
+
+func (r *nativeRunner) RunIteration() error {
+	_, err := r.m.Run()
+	return err
+}
+
+func (r *nativeRunner) CompiledFunctions() int { return 0 }
+
+// NewRunner prepares an in-process repeat runner for a benchmark program.
+func NewRunner(cfgKind PerfConfig, src, arg string) (Runner, error) {
+	switch cfgKind {
+	case SafeSulongPerf, SafeSulongNoJIT:
+		mod, err := sulong.CompileOnly(src)
+		if err != nil {
+			return nil, err
+		}
+		r := &managedRunner{}
+		ecfg := core.Config{
+			Args:   []string{arg},
+			Stdout: io.Discard,
+			OnCompile: func(string) {
+				r.compiled++
+			},
+		}
+		if cfgKind == SafeSulongPerf {
+			ecfg.Tier1 = jit.New()
+			ecfg.Tier1Threshold = 25
+		}
+		eng, err := core.NewEngine(mod, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		r.eng = eng
+		return r, nil
+	default:
+		optLevel := 0
+		if cfgKind == ClangO3 {
+			optLevel = 3
+		}
+		mod, err := sulong.CompileNative(src, optLevel)
+		if err != nil {
+			return nil, err
+		}
+		return newNativeRunner(cfgKind, mod, arg)
+	}
+}
+
+func newNativeRunner(cfgKind PerfConfig, mod *ir.Module, arg string) (Runner, error) {
+	eng := sulong.EngineNative
+	switch cfgKind {
+	case ASanPerf:
+		eng = sulong.EngineASan
+	case ValgrindPerf:
+		eng = sulong.EngineMemcheck
+	}
+	ncfg, err := sulong.NativeConfig(eng)
+	if err != nil {
+		return nil, err
+	}
+	ncfg.Args = []string{arg}
+	ncfg.Stdout = io.Discard
+	m, err := nativevm.New(mod, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	return &nativeRunner{m: m}, nil
+}
+
+// ---- start-up (§4.2) ----
+
+// StartupResult is the time from invocation to hello-world completion.
+// Safe Sulong's figure includes parsing libc and the user program (the
+// paper's dominant cost); the native tools run a precompiled module.
+type StartupResult struct {
+	Tool PerfConfig
+	Time time.Duration
+}
+
+const helloSrc = `#include <stdio.h>
+int main(void) { printf("Hello, World!\n"); return 0; }`
+
+// MeasureStartup times hello-world end to end, averaged over runs.
+func MeasureStartup(runs int) ([]StartupResult, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	configs := []PerfConfig{ClangO0, ASanPerf, ValgrindPerf, SafeSulongPerf}
+	// Native binaries exist before startup: compile outside the timer.
+	nativeMod, err := sulong.CompileNative(helloSrc, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []StartupResult
+	for _, cfgKind := range configs {
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			switch cfgKind {
+			case SafeSulongPerf:
+				// Safe Sulong parses libc + program at startup (§4.2).
+				mod, err := sulong.CompileOnly(helloSrc)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := sulong.RunModule(mod, sulong.Config{Engine: sulong.EngineSafeSulong, Stdout: io.Discard}); err != nil {
+					return nil, err
+				}
+			default:
+				r, err := newNativeRunner(cfgKind, nativeMod, "")
+				if err != nil {
+					return nil, err
+				}
+				if err := r.RunIteration(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, StartupResult{Tool: cfgKind, Time: time.Since(start) / time.Duration(runs)})
+	}
+	return out, nil
+}
+
+// ---- warm-up (Fig. 15) ----
+
+// WarmupSample is one time bucket of Fig. 15.
+type WarmupSample struct {
+	Bucket     int // index of the time bucket
+	Iterations int // benchmark iterations completed in this bucket
+	Compiled   int // cumulative tier-1 compiled functions at bucket end
+}
+
+// MeasureWarmup replays the paper's Fig. 15: run the benchmark continuously
+// for the given duration and report iterations completed per bucket.
+func MeasureWarmup(bench benchprog.Benchmark, arg string, total time.Duration, bucket time.Duration, cfgs []PerfConfig) (map[PerfConfig][]WarmupSample, error) {
+	if arg == "" {
+		arg = bench.SmallArg
+	}
+	out := map[PerfConfig][]WarmupSample{}
+	for _, cfgKind := range cfgs {
+		r, err := NewRunner(cfgKind, bench.Source, arg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var samples []WarmupSample
+		cur := WarmupSample{Bucket: 0}
+		for time.Since(start) < total {
+			if err := r.RunIteration(); err != nil {
+				return nil, fmt.Errorf("%v: %w", cfgKind, err)
+			}
+			b := int(time.Since(start) / bucket)
+			if b != cur.Bucket {
+				cur.Compiled = r.CompiledFunctions()
+				samples = append(samples, cur)
+				for k := cur.Bucket + 1; k < b; k++ {
+					samples = append(samples, WarmupSample{Bucket: k, Compiled: r.CompiledFunctions()})
+				}
+				cur = WarmupSample{Bucket: b}
+			}
+			cur.Iterations++
+		}
+		cur.Compiled = r.CompiledFunctions()
+		samples = append(samples, cur)
+		out[cfgKind] = samples
+	}
+	return out, nil
+}
+
+// ---- peak performance (Fig. 16) ----
+
+// PeakResult is one benchmark's row of Fig. 16.
+type PeakResult struct {
+	Bench string
+	// Time per configuration (median of samples after warm-up).
+	Times map[PerfConfig]time.Duration
+}
+
+// Relative returns the ratio of a configuration's time to Clang -O0
+// (Fig. 16's y-axis).
+func (p PeakResult) Relative(cfg PerfConfig) float64 {
+	base := p.Times[ClangO0]
+	if base == 0 {
+		return 0
+	}
+	return float64(p.Times[cfg]) / float64(base)
+}
+
+// MeasurePeak measures steady-state iteration time for each configuration:
+// `warmups` in-process iterations first (the paper uses 50), then the
+// median of `samples` timed iterations.
+func MeasurePeak(bench benchprog.Benchmark, arg string, warmups, samples int, cfgs []PerfConfig) (PeakResult, error) {
+	if arg == "" {
+		arg = bench.DefaultArg
+	}
+	if warmups <= 0 {
+		warmups = 50
+	}
+	if samples <= 0 {
+		samples = 10
+	}
+	res := PeakResult{Bench: bench.Name, Times: map[PerfConfig]time.Duration{}}
+	for _, cfgKind := range cfgs {
+		r, err := NewRunner(cfgKind, bench.Source, arg)
+		if err != nil {
+			return res, err
+		}
+		for i := 0; i < warmups; i++ {
+			if err := r.RunIteration(); err != nil {
+				return res, fmt.Errorf("%s under %v (warmup): %w", bench.Name, cfgKind, err)
+			}
+		}
+		times := make([]time.Duration, 0, samples)
+		for i := 0; i < samples; i++ {
+			t0 := time.Now()
+			if err := r.RunIteration(); err != nil {
+				return res, fmt.Errorf("%s under %v: %w", bench.Name, cfgKind, err)
+			}
+			times = append(times, time.Since(t0))
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		res.Times[cfgKind] = times[len(times)/2]
+	}
+	return res, nil
+}
+
+// RenderPeak formats Fig. 16 as a table of ratios relative to Clang -O0.
+func RenderPeak(results []PeakResult, cfgs []PerfConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s", "benchmark")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, "%22s", c)
+	}
+	b.WriteString("\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-15s", r.Bench)
+		for _, c := range cfgs {
+			fmt.Fprintf(&b, "%15.2fx (%s)", r.Relative(c), shortDur(r.Times[c]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func shortDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	}
+}

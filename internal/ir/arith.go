@@ -1,0 +1,237 @@
+package ir
+
+import "math"
+
+// This file is the scalar ALU shared by every execution engine. Integer
+// registers hold values in canonical form: sign-extended to 64 bits at the
+// operation's declared width. All engines (managed, native, instrumented)
+// must agree on C arithmetic; centralizing it here keeps them consistent.
+
+// SignExtend truncates v to the given bit width and sign-extends the result.
+func SignExtend(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	shift := uint(64 - bits)
+	return v << shift >> shift
+}
+
+// ZeroExtend truncates v to the given bit width without sign extension.
+func ZeroExtend(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & (1<<uint(bits) - 1)
+}
+
+// EvalIntBin computes an integer binary operation at the given width.
+// ok is false for division or remainder by zero (the caller decides whether
+// that traps, reports, or poisons).
+func EvalIntBin(op BinOp, bits int, a, b int64) (v int64, ok bool) {
+	switch op {
+	case Add:
+		v = a + b
+	case Sub:
+		v = a - b
+	case Mul:
+		v = a * b
+	case SDiv:
+		if b == 0 {
+			return 0, false
+		}
+		if a == math.MinInt64 && b == -1 {
+			v = a // wraps, as on AMD64 at width 64; narrower widths mask anyway
+		} else {
+			v = a / b
+		}
+	case UDiv:
+		ub := uint64(ZeroExtend(b, bits))
+		if bits >= 64 {
+			ub = uint64(b)
+		}
+		if ub == 0 {
+			return 0, false
+		}
+		ua := uint64(ZeroExtend(a, bits))
+		if bits >= 64 {
+			ua = uint64(a)
+		}
+		v = int64(ua / ub)
+	case SRem:
+		if b == 0 {
+			return 0, false
+		}
+		if a == math.MinInt64 && b == -1 {
+			v = 0
+		} else {
+			v = a % b
+		}
+	case URem:
+		ub := uint64(ZeroExtend(b, bits))
+		if bits >= 64 {
+			ub = uint64(b)
+		}
+		if ub == 0 {
+			return 0, false
+		}
+		ua := uint64(ZeroExtend(a, bits))
+		if bits >= 64 {
+			ua = uint64(a)
+		}
+		v = int64(ua % ub)
+	case And:
+		v = a & b
+	case Or:
+		v = a | b
+	case Xor:
+		v = a ^ b
+	case Shl:
+		v = a << (uint64(b) & 63)
+	case LShr:
+		ua := uint64(ZeroExtend(a, bits))
+		if bits >= 64 {
+			ua = uint64(a)
+		}
+		v = int64(ua >> (uint64(b) & 63))
+	case AShr:
+		v = a >> (uint64(b) & 63)
+	default:
+		return 0, false
+	}
+	return SignExtend(v, bits), true
+}
+
+// EvalFloatBin computes a floating binary operation at the given width.
+func EvalFloatBin(op BinOp, bits int, a, b float64) float64 {
+	var v float64
+	switch op {
+	case FAdd:
+		v = a + b
+	case FSub:
+		v = a - b
+	case FMul:
+		v = a * b
+	case FDiv:
+		v = a / b
+	case FRem:
+		v = math.Mod(a, b)
+	}
+	if bits == 32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
+// EvalIntCmp evaluates an integer comparison at the given width.
+func EvalIntCmp(p Pred, bits int, a, b int64) bool {
+	switch p {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Slt:
+		return a < b
+	case Sle:
+		return a <= b
+	case Sgt:
+		return a > b
+	case Sge:
+		return a >= b
+	}
+	ua, ub := uint64(ZeroExtend(a, bits)), uint64(ZeroExtend(b, bits))
+	if bits >= 64 {
+		ua, ub = uint64(a), uint64(b)
+	}
+	switch p {
+	case Ult:
+		return ua < ub
+	case Ule:
+		return ua <= ub
+	case Ugt:
+		return ua > ub
+	case Uge:
+		return ua >= ub
+	}
+	return false
+}
+
+// EvalFloatCmp evaluates an ordered float comparison.
+func EvalFloatCmp(p Pred, a, b float64) bool {
+	switch p {
+	case FOeq:
+		return a == b
+	case FOne:
+		return a != b
+	case FOlt:
+		return a < b
+	case FOle:
+		return a <= b
+	case FOgt:
+		return a > b
+	case FOge:
+		return a >= b
+	}
+	return false
+}
+
+// EvalIntCast applies an integer-to-integer or int/float cast where both
+// sides are representable as (int64, float64) pairs.
+//
+// The boolean result selects which output is meaningful: isFloat=true means
+// fOut, otherwise iOut.
+func EvalCast(op CastOp, fromBits, toBits int, i int64, f float64) (iOut int64, fOut float64, isFloat bool) {
+	switch op {
+	case Trunc:
+		return SignExtend(i, toBits), 0, false
+	case ZExt:
+		return SignExtend(ZeroExtend(i, fromBits), toBits), 0, false
+	case SExt:
+		return SignExtend(i, toBits), 0, false
+	case FPTrunc:
+		return 0, float64(float32(f)), true
+	case FPExt:
+		return 0, f, true
+	case FPToSI:
+		return SignExtend(clampToInt(f), toBits), 0, false
+	case FPToUI:
+		if f < 0 || math.IsNaN(f) {
+			return 0, 0, false
+		}
+		if f >= 18446744073709551615.0 {
+			return -1, 0, false
+		}
+		return SignExtend(int64(uint64(f)), toBits), 0, false
+	case SIToFP:
+		v := float64(i)
+		if toBits == 32 {
+			v = float64(float32(v))
+		}
+		return 0, v, true
+	case UIToFP:
+		u := uint64(ZeroExtend(i, fromBits))
+		if fromBits >= 64 {
+			u = uint64(i)
+		}
+		v := float64(u)
+		if toBits == 32 {
+			v = float64(float32(v))
+		}
+		return 0, v, true
+	}
+	return i, f, false
+}
+
+// clampToInt converts a float to int64 with saturation (x86 semantics are
+// UB-adjacent; saturation keeps all engines deterministic and identical).
+func clampToInt(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}

@@ -1,0 +1,247 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Opcode identifies an SIR instruction.
+type Opcode int
+
+const (
+	OpInvalid Opcode = iota
+	OpAlloca         // Dst = new stack object of Ty (Count elements when set)
+	OpLoad           // Dst = *(Ty*)Addr
+	OpStore          // *(Ty*)Addr = A
+	OpGEP            // Dst = Addr + A*Stride (byte-granular pointer arithmetic)
+	OpBin            // Dst = A <Bin> B, operating on Ty
+	OpCmp            // Dst(i1) = A <Pred> B, comparing at Ty
+	OpCast           // Dst = cast<CastOp>(A) from Ty to Ty2
+	OpSelect         // Dst = A(cond i1) ? B : C
+	OpCall           // Dst = Callee(Args...)
+	OpBr             // goto Blk0
+	OpCondBr         // if A goto Blk0 else Blk1
+	OpSwitch         // multiway branch on A; Cases + default Blk0
+	OpRet            // return A (or nothing)
+	OpUnreachable
+)
+
+// BinOp is an arithmetic or bitwise operation for OpBin.
+type BinOp int
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	SDiv
+	UDiv
+	SRem
+	URem
+	And
+	Or
+	Xor
+	Shl
+	LShr
+	AShr
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FRem
+)
+
+var binNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", SDiv: "sdiv", UDiv: "udiv",
+	SRem: "srem", URem: "urem", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", LShr: "lshr", AShr: "ashr",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FRem: "frem",
+}
+
+func (b BinOp) String() string { return binNames[b] }
+
+// IsFloatOp reports whether the operation works on floating-point values.
+func (b BinOp) IsFloatOp() bool { return b >= FAdd }
+
+// Pred is a comparison predicate for OpCmp. Integer predicates follow LLVM
+// naming (signed/unsigned); float predicates are ordered comparisons.
+type Pred int
+
+const (
+	Eq Pred = iota
+	Ne
+	Slt
+	Sle
+	Sgt
+	Sge
+	Ult
+	Ule
+	Ugt
+	Uge
+	FOeq
+	FOne
+	FOlt
+	FOle
+	FOgt
+	FOge
+)
+
+var predNames = [...]string{
+	Eq: "eq", Ne: "ne", Slt: "slt", Sle: "sle", Sgt: "sgt", Sge: "sge",
+	Ult: "ult", Ule: "ule", Ugt: "ugt", Uge: "uge",
+	FOeq: "oeq", FOne: "one", FOlt: "olt", FOle: "ole", FOgt: "ogt", FOge: "oge",
+}
+
+func (p Pred) String() string { return predNames[p] }
+
+// IsFloatPred reports whether the predicate compares floating-point values.
+func (p Pred) IsFloatPred() bool { return p >= FOeq }
+
+// CastOp is a conversion operation for OpCast.
+type CastOp int
+
+const (
+	Trunc CastOp = iota
+	ZExt
+	SExt
+	FPTrunc
+	FPExt
+	FPToSI
+	FPToUI
+	SIToFP
+	UIToFP
+	PtrToInt
+	IntToPtr
+	Bitcast
+)
+
+var castNames = [...]string{
+	Trunc: "trunc", ZExt: "zext", SExt: "sext", FPTrunc: "fptrunc",
+	FPExt: "fpext", FPToSI: "fptosi", FPToUI: "fptoui", SIToFP: "sitofp",
+	UIToFP: "uitofp", PtrToInt: "ptrtoint", IntToPtr: "inttoptr", Bitcast: "bitcast",
+}
+
+func (c CastOp) String() string { return castNames[c] }
+
+// OperandKind discriminates Operand.
+type OperandKind int
+
+const (
+	OperNone OperandKind = iota
+	OperReg              // virtual register
+	OperConstInt
+	OperConstFloat
+	OperGlobal // address of a module global
+	OperFunc   // address of a function
+	OperNull   // the null pointer
+)
+
+// Operand is an instruction input: a register, an immediate constant, or a
+// symbol address. Ty records the operand's type as known to the front end.
+type Operand struct {
+	Kind OperandKind
+	Reg  int
+	Int  int64   // OperConstInt: value, sign-extended to 64 bits
+	Flt  float64 // OperConstFloat
+	Sym  string  // OperGlobal / OperFunc
+	Ty   Type
+}
+
+// Reg returns a register operand.
+func Reg(r int, ty Type) Operand { return Operand{Kind: OperReg, Reg: r, Ty: ty} }
+
+// ConstInt returns an integer-constant operand.
+func ConstInt(v int64, ty Type) Operand { return Operand{Kind: OperConstInt, Int: v, Ty: ty} }
+
+// ConstFloat returns a float-constant operand.
+func ConstFloat(v float64, ty Type) Operand { return Operand{Kind: OperConstFloat, Flt: v, Ty: ty} }
+
+// GlobalRef returns an operand holding the address of a module global.
+func GlobalRef(sym string) Operand { return Operand{Kind: OperGlobal, Sym: sym, Ty: BytePtr} }
+
+// FuncRef returns an operand holding the address of a function.
+func FuncRef(sym string) Operand { return Operand{Kind: OperFunc, Sym: sym, Ty: BytePtr} }
+
+// Null returns the null-pointer operand.
+func Null() Operand { return Operand{Kind: OperNull, Ty: BytePtr} }
+
+// IsConst reports whether the operand is an immediate (including null and
+// symbol addresses, which are link-time constants).
+func (o Operand) IsConst() bool { return o.Kind != OperReg && o.Kind != OperNone }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperReg:
+		return fmt.Sprintf("%%r%d", o.Reg)
+	case OperConstInt:
+		return fmt.Sprintf("%d", o.Int)
+	case OperConstFloat:
+		if o.Flt == math.Trunc(o.Flt) && math.Abs(o.Flt) < 1e15 {
+			return fmt.Sprintf("%.1f", o.Flt)
+		}
+		return fmt.Sprintf("%g", o.Flt)
+	case OperGlobal:
+		return "@" + o.Sym
+	case OperFunc:
+		return "&" + o.Sym
+	case OperNull:
+		return "null"
+	}
+	return "<none>"
+}
+
+// SwitchCase is one arm of an OpSwitch.
+type SwitchCase struct {
+	Val int64
+	Blk int
+}
+
+// Instr is a single SIR instruction. One struct covers all opcodes; unused
+// fields are zero. Dst is -1 when the instruction produces no value.
+type Instr struct {
+	Op  Opcode
+	Dst int
+	Ty  Type // operation type: loaded/stored type, alloca element type, bin/cmp type, cast source type
+	Ty2 Type // cast destination type
+
+	A, B, C Operand // generic inputs (store value in A; select arms in B, C)
+	Addr    Operand // load/store/gep base pointer
+
+	Bin    BinOp
+	Pred   Pred
+	Cast   CastOp
+	Stride int64 // gep: byte stride multiplied with index A
+
+	Callee    Operand
+	Args      []Operand
+	FixedArgs int // number of fixed (non-variadic) parameters at this call site
+
+	Blk0, Blk1 int
+	Cases      []SwitchCase
+
+	Name string // alloca: source variable name, for diagnostics
+	Line int    // source line, for diagnostics
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator (br, condbr, switch, ret, unreachable).
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// IsTerminator reports whether op ends a basic block.
+func IsTerminator(op Opcode) bool {
+	switch op {
+	case OpBr, OpCondBr, OpSwitch, OpRet, OpUnreachable:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+package ir
+
+import "fmt"
+
+// Func is an SIR function: a register machine with basic blocks.
+// Parameters arrive in registers 0..len(Sig.Params)-1.
+type Func struct {
+	Name       string
+	Sig        *FuncType
+	ParamNames []string
+	NumRegs    int
+	Blocks     []*Block
+	IsDecl     bool // declaration only: resolved to a builtin at run time
+	SourceFile string
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() int {
+	r := f.NumRegs
+	f.NumRegs++
+	return r
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// BlockIndex returns the index of the named block, or -1.
+func (f *Func) BlockIndex(name string) int {
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// InstrCount returns the total number of instructions in the function.
+func (f *Func) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Const is a compile-time constant used to initialize globals.
+type Const interface{ constNode() }
+
+// ConstIntVal is an integer constant of a given type.
+type ConstIntVal struct {
+	Ty Type
+	V  int64
+}
+
+// ConstFloatVal is a floating-point constant.
+type ConstFloatVal struct {
+	Ty Type
+	V  float64
+}
+
+// ConstBytes is a byte-string constant (C string literals, including NUL).
+type ConstBytes struct {
+	Data []byte
+}
+
+// ConstArrayVal is an array of constants.
+type ConstArrayVal struct {
+	Ty    *ArrayType
+	Elems []Const // may be shorter than Ty.Len; the rest is zero
+}
+
+// ConstStructVal is a struct constant.
+type ConstStructVal struct {
+	Ty     *StructType
+	Fields []Const
+}
+
+// ConstZero is a zero initializer of any type.
+type ConstZero struct {
+	Ty Type
+}
+
+// ConstGlobalRef is the address of another global plus a byte offset
+// (e.g. a pointer array holding string-literal addresses).
+type ConstGlobalRef struct {
+	Sym string
+	Off int64
+}
+
+// ConstFuncRef is the address of a function.
+type ConstFuncRef struct {
+	Sym string
+}
+
+func (ConstIntVal) constNode()    {}
+func (ConstFloatVal) constNode()  {}
+func (ConstBytes) constNode()     {}
+func (ConstArrayVal) constNode()  {}
+func (ConstStructVal) constNode() {}
+func (ConstZero) constNode()      {}
+func (ConstGlobalRef) constNode() {}
+func (ConstFuncRef) constNode()   {}
+
+// Global is a module-level variable (static storage).
+type Global struct {
+	Name    string
+	Ty      Type
+	Init    Const // nil means zero-initialized
+	IsConst bool  // declared const (enables front-end constant folding)
+}
+
+// Module is a complete translation unit: the user program plus the libc it
+// was linked with.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+	Structs map[string]*StructType
+
+	funcIdx   map[string]int
+	globalIdx map[string]int
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:      name,
+		Structs:   map[string]*StructType{},
+		funcIdx:   map[string]int{},
+		globalIdx: map[string]int{},
+	}
+}
+
+// AddFunc appends f, replacing any previous declaration with the same name.
+func (m *Module) AddFunc(f *Func) {
+	if i, ok := m.funcIdx[f.Name]; ok {
+		// A definition replaces a declaration (and vice versa is ignored).
+		if m.Funcs[i].IsDecl || !f.IsDecl {
+			m.Funcs[i] = f
+		}
+		return
+	}
+	m.funcIdx[f.Name] = len(m.Funcs)
+	m.Funcs = append(m.Funcs, f)
+}
+
+// AddGlobal appends g to the module.
+func (m *Module) AddGlobal(g *Global) error {
+	if _, ok := m.globalIdx[g.Name]; ok {
+		return fmt.Errorf("ir: duplicate global %q", g.Name)
+	}
+	m.globalIdx[g.Name] = len(m.Globals)
+	m.Globals = append(m.Globals, g)
+	return nil
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	if i, ok := m.funcIdx[name]; ok {
+		return m.Funcs[i]
+	}
+	return nil
+}
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global {
+	if i, ok := m.globalIdx[name]; ok {
+		return m.Globals[i]
+	}
+	return nil
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (m *Module) FuncIndex(name string) int {
+	if i, ok := m.funcIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Reindex rebuilds the symbol maps after direct slice manipulation
+// (used by the optimizer when it removes dead functions).
+func (m *Module) Reindex() {
+	m.funcIdx = make(map[string]int, len(m.Funcs))
+	m.globalIdx = make(map[string]int, len(m.Globals))
+	for i, f := range m.Funcs {
+		m.funcIdx[f.Name] = i
+	}
+	for i, g := range m.Globals {
+		m.globalIdx[g.Name] = i
+	}
+}
+
+// Clone returns a deep copy of the module's functions and shallow copies of
+// globals and types (which engines treat as immutable). The optimizer
+// mutates clones so one compile can serve several engine configurations.
+func (m *Module) Clone() *Module {
+	out := NewModule(m.Name)
+	out.Structs = m.Structs
+	out.Globals = append([]*Global(nil), m.Globals...)
+	for i, g := range m.Globals {
+		out.globalIdx[g.Name] = i
+		_ = g
+	}
+	for _, f := range m.Funcs {
+		out.AddFunc(cloneFunc(f))
+	}
+	return out
+}
+
+func cloneFunc(f *Func) *Func {
+	nf := &Func{
+		Name:       f.Name,
+		Sig:        f.Sig,
+		ParamNames: append([]string(nil), f.ParamNames...),
+		NumRegs:    f.NumRegs,
+		IsDecl:     f.IsDecl,
+		SourceFile: f.SourceFile,
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Instrs: append([]Instr(nil), b.Instrs...)}
+		for i := range nb.Instrs {
+			if nb.Instrs[i].Args != nil {
+				nb.Instrs[i].Args = append([]Operand(nil), nb.Instrs[i].Args...)
+			}
+			if nb.Instrs[i].Cases != nil {
+				nb.Instrs[i].Cases = append([]SwitchCase(nil), nb.Instrs[i].Cases...)
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// ZeroConst reports whether c is (recursively) all zero.
+func ZeroConst(c Const) bool {
+	switch v := c.(type) {
+	case nil:
+		return true
+	case ConstZero:
+		return true
+	case ConstIntVal:
+		return v.V == 0
+	case ConstFloatVal:
+		return v.V == 0
+	case ConstBytes:
+		for _, b := range v.Data {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	case ConstArrayVal:
+		for _, e := range v.Elems {
+			if !ZeroConst(e) {
+				return false
+			}
+		}
+		return true
+	case ConstStructVal:
+		for _, e := range v.Fields {
+			if !ZeroConst(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

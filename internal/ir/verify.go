@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural invariants of a module. Engines assume these hold;
+// the front end and optimizer must keep them true.
+//
+// Invariants:
+//   - every block is non-empty and ends in exactly one terminator,
+//   - branch targets are valid block indices,
+//   - registers are in range [0, NumRegs),
+//   - operands referencing globals/functions resolve within the module,
+//   - call instructions to known functions pass at least the fixed arg count.
+func Verify(m *Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		if len(f.Blocks) == 0 {
+			errs = append(errs, fmt.Errorf("func %s: no blocks", f.Name))
+			continue
+		}
+		for bi, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				errs = append(errs, fmt.Errorf("func %s block %s: empty", f.Name, b.Name))
+				continue
+			}
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				last := ii == len(b.Instrs)-1
+				if IsTerminator(in.Op) != last {
+					errs = append(errs, fmt.Errorf("func %s block %s instr %d: terminator placement", f.Name, b.Name, ii))
+				}
+				if err := verifyInstr(m, f, in); err != nil {
+					errs = append(errs, fmt.Errorf("func %s block %s instr %d: %w", f.Name, b.Name, ii, err))
+				}
+			}
+			_ = bi
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyInstr(m *Module, f *Func, in *Instr) error {
+	checkOp := func(o Operand) error {
+		switch o.Kind {
+		case OperReg:
+			if o.Reg < 0 || o.Reg >= f.NumRegs {
+				return fmt.Errorf("register %%r%d out of range (regs=%d)", o.Reg, f.NumRegs)
+			}
+		case OperGlobal:
+			if m.Global(o.Sym) == nil {
+				return fmt.Errorf("unknown global @%s", o.Sym)
+			}
+		case OperFunc:
+			if m.Func(o.Sym) == nil {
+				return fmt.Errorf("unknown function &%s", o.Sym)
+			}
+		}
+		return nil
+	}
+	checkBlk := func(idx int) error {
+		if idx < 0 || idx >= len(f.Blocks) {
+			return fmt.Errorf("branch target %d out of range", idx)
+		}
+		return nil
+	}
+	for _, o := range []Operand{in.A, in.B, in.C, in.Addr, in.Callee} {
+		if o.Kind != OperNone {
+			if err := checkOp(o); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range in.Args {
+		if err := checkOp(o); err != nil {
+			return err
+		}
+		if o.Ty == nil {
+			return fmt.Errorf("call argument missing type")
+		}
+	}
+	switch in.Op {
+	case OpInvalid:
+		return fmt.Errorf("invalid opcode")
+	case OpAlloca, OpLoad, OpBin, OpCmp, OpGEP, OpSelect:
+		if in.Dst < 0 {
+			return fmt.Errorf("%v: missing destination", in.Op)
+		}
+		if in.Dst >= f.NumRegs {
+			return fmt.Errorf("destination %%r%d out of range", in.Dst)
+		}
+	case OpCast:
+		if in.Dst < 0 || in.Ty == nil || in.Ty2 == nil {
+			return fmt.Errorf("cast: missing dst or types")
+		}
+		if in.Dst >= f.NumRegs {
+			return fmt.Errorf("destination %%r%d out of range", in.Dst)
+		}
+	case OpBr:
+		return checkBlk(in.Blk0)
+	case OpCondBr:
+		if err := checkBlk(in.Blk0); err != nil {
+			return err
+		}
+		return checkBlk(in.Blk1)
+	case OpSwitch:
+		if err := checkBlk(in.Blk0); err != nil {
+			return err
+		}
+		for _, c := range in.Cases {
+			if err := checkBlk(c.Blk); err != nil {
+				return err
+			}
+		}
+	case OpCall:
+		if in.Dst >= f.NumRegs {
+			return fmt.Errorf("destination %%r%d out of range", in.Dst)
+		}
+		if in.Callee.Kind == OperFunc {
+			callee := m.Func(in.Callee.Sym)
+			if callee != nil && callee.Sig != nil {
+				if len(in.Args) < len(callee.Sig.Params) && callee.Sig.Variadic {
+					return fmt.Errorf("call to %s: %d args < %d fixed params", callee.Name, len(in.Args), len(callee.Sig.Params))
+				}
+			}
+		}
+	}
+	if in.Op == OpLoad || in.Op == OpStore {
+		if in.Ty == nil {
+			return fmt.Errorf("memory op missing type")
+		}
+		if IsAggregate(in.Ty) {
+			return fmt.Errorf("memory op on aggregate type %s (front end must scalarize)", in.Ty)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+// Package jit is Safe Sulong's tier-1 dynamic compiler — the Graal analogue.
+// When the engine reports a function hot, the compiler clones its IR,
+// applies *safety-preserving* optimizations (scalar promotion of
+// non-escaping locals, constant folding, copy cleanup — never dead-store or
+// dead-load elimination, which would erase bugs), and lowers each basic
+// block to a flat slice of specialized Go closures with pre-resolved
+// operands. The result keeps every bounds/NULL/free check — this is the
+// paper's "optimizes based on safe semantics [and] cannot optimize away
+// invalid accesses" property — while eliminating the tier-0 interpreter's
+// dispatch and operand-decoding overhead.
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+)
+
+// Compiler implements core.Tier1Compiler.
+type Compiler struct {
+	// Compiled counts tier-1 compiled functions; InstrsTotal their size.
+	Compiled    int
+	InstrsTotal int
+	// DisableMem2Reg turns off scalar promotion (ablation benchmarks).
+	DisableMem2Reg bool
+}
+
+// New returns a tier-1 compiler.
+func New() *Compiler { return &Compiler{} }
+
+// step executes one non-terminator instruction.
+type step func(e *core.Engine, fr *core.Frame) error
+
+// term executes a block terminator: returns the next block, or done=true
+// with the return value.
+type term func(e *core.Engine, fr *core.Frame) (next int, ret core.Value, done bool, err error)
+
+type block struct {
+	body []step
+	term term
+}
+
+// Compile lowers the function at fidx to closures.
+func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
+	orig := e.Module().Funcs[fidx]
+	f := cloneForJIT(orig)
+	if !c.DisableMem2Reg {
+		opt.Mem2Reg(f)
+		opt.FoldConstants(f)
+		sweepMoves(f)
+	}
+	blocks := make([]block, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		var body []step
+		n := len(b.Instrs)
+		for i := 0; i < n-1; i++ {
+			s, err := c.compileStep(e, f, &b.Instrs[i])
+			if err != nil {
+				return nil // bail out: stay in the interpreter
+			}
+			body = append(body, s)
+		}
+		t, err := c.compileTerm(e, f, &b.Instrs[n-1])
+		if err != nil {
+			return nil
+		}
+		blocks[bi].body = body
+		blocks[bi].term = t
+		c.InstrsTotal += n
+	}
+	c.Compiled++
+	numRegs := f.NumRegs
+	return func(e *core.Engine, fr *core.Frame) (core.Value, error) {
+		// The clone may have added registers (promoted scalars).
+		if len(fr.Regs) < numRegs {
+			regs := make([]core.Value, numRegs)
+			copy(regs, fr.Regs)
+			fr.Regs = regs
+		}
+		blk := 0
+		for {
+			b := &blocks[blk]
+			for _, s := range b.body {
+				if err := s(e, fr); err != nil {
+					return core.Value{}, err
+				}
+			}
+			next, ret, done, err := b.term(e, fr)
+			if err != nil {
+				return core.Value{}, err
+			}
+			if done {
+				return ret, nil
+			}
+			blk = next
+		}
+	}
+}
+
+// cloneForJIT deep-copies one function so tier-1 optimization cannot
+// disturb the interpreter's view.
+func cloneForJIT(f *ir.Func) *ir.Func {
+	nf := &ir.Func{Name: f.Name, Sig: f.Sig, NumRegs: f.NumRegs, ParamNames: f.ParamNames}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{Name: b.Name, Instrs: append([]ir.Instr(nil), b.Instrs...)}
+		for i := range nb.Instrs {
+			if nb.Instrs[i].Args != nil {
+				nb.Instrs[i].Args = append([]ir.Operand(nil), nb.Instrs[i].Args...)
+			}
+			if nb.Instrs[i].Cases != nil {
+				nb.Instrs[i].Cases = append([]ir.SwitchCase(nil), nb.Instrs[i].Cases...)
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// sweepMoves removes bitcast moves whose destination is never read — the
+// residue of promoted allocas. (Full DCE would be unsafe: it could delete
+// checked loads; moves are pure by construction.)
+func sweepMoves(f *ir.Func) {
+	uses := make([]int, f.NumRegs)
+	mark := func(o ir.Operand) {
+		if o.Kind == ir.OperReg {
+			uses[o.Reg]++
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			mark(in.A)
+			mark(in.B)
+			mark(in.C)
+			mark(in.Addr)
+			mark(in.Callee)
+			for _, a := range in.Args {
+				mark(a)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		dst := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCast && in.Cast == ir.Bitcast && in.Dst >= 0 && uses[in.Dst] == 0 && len(b.Instrs) > 1 && !ir.IsTerminator(in.Op) {
+				continue
+			}
+			dst = append(dst, in)
+		}
+		if len(dst) == 0 {
+			dst = b.Instrs[:1] // never leave a block empty
+		}
+		b.Instrs = dst
+	}
+}
+
+// getter resolves one operand; the decode happens at compile time.
+type getter func(e *core.Engine, fr *core.Frame) core.Value
+
+func (c *Compiler) compileOperand(e *core.Engine, o ir.Operand) (getter, error) {
+	switch o.Kind {
+	case ir.OperReg:
+		r := o.Reg
+		return func(e *core.Engine, fr *core.Frame) core.Value { return fr.Regs[r] }, nil
+	case ir.OperConstInt:
+		v := core.IntValue(o.Int)
+		return func(e *core.Engine, fr *core.Frame) core.Value { return v }, nil
+	case ir.OperConstFloat:
+		v := core.FloatValue(o.Flt)
+		return func(e *core.Engine, fr *core.Frame) core.Value { return v }, nil
+	case ir.OperGlobal:
+		obj := e.Global(o.Sym)
+		if obj == nil {
+			return nil, fmt.Errorf("jit: unknown global %s", o.Sym)
+		}
+		v := core.PtrValue(core.Pointer{Obj: obj})
+		return func(e *core.Engine, fr *core.Frame) core.Value { return v }, nil
+	case ir.OperFunc:
+		idx := e.Module().FuncIndex(o.Sym)
+		if idx < 0 {
+			return nil, fmt.Errorf("jit: unknown function %s", o.Sym)
+		}
+		v := core.PtrValue(core.FuncPointer(idx))
+		return func(e *core.Engine, fr *core.Frame) core.Value { return v }, nil
+	case ir.OperNull:
+		return func(e *core.Engine, fr *core.Frame) core.Value { return core.Value{} }, nil
+	}
+	return nil, fmt.Errorf("jit: bad operand kind %d", o.Kind)
+}
+
+func locate(be *core.BugError, fn string, line int) *core.BugError {
+	if be.Func == "" {
+		be.Func = fn
+		be.Line = line
+	}
+	return be
+}
+
+func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, error) {
+	fname := f.Name
+	line := in.Line
+	switch in.Op {
+	case ir.OpAlloca:
+		ty := in.Ty
+		name := in.Name
+		dst := in.Dst
+		size := ty.Size()
+		if cnt, ok := in.CountOp(); ok {
+			getCnt, err := c.compileOperand(e, cnt)
+			if err != nil {
+				return nil, err
+			}
+			return func(e *core.Engine, fr *core.Frame) error {
+				n := getCnt(e, fr).I
+				p := e.AllocAuto(size*n, name, ty)
+				e.TrackAuto(fr, p)
+				fr.Regs[dst] = core.PtrValue(p)
+				return nil
+			}, nil
+		}
+		return func(e *core.Engine, fr *core.Frame) error {
+			p := e.AllocAuto(size, name, ty)
+			e.TrackAuto(fr, p)
+			fr.Regs[dst] = core.PtrValue(p)
+			return nil
+		}, nil
+
+	case ir.OpLoad:
+		getAddr, err := c.compileOperand(e, in.Addr)
+		if err != nil {
+			return nil, err
+		}
+		dst := in.Dst
+		ty := in.Ty
+		return func(e *core.Engine, fr *core.Frame) error {
+			v, be := e.LoadTyped(getAddr(e, fr).P, ty)
+			if be != nil {
+				return locate(be, fname, line)
+			}
+			fr.Regs[dst] = v
+			return nil
+		}, nil
+
+	case ir.OpStore:
+		getAddr, err := c.compileOperand(e, in.Addr)
+		if err != nil {
+			return nil, err
+		}
+		getVal, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
+		ty := in.Ty
+		return func(e *core.Engine, fr *core.Frame) error {
+			if be := e.StoreTyped(getAddr(e, fr).P, ty, getVal(e, fr)); be != nil {
+				return locate(be, fname, line)
+			}
+			return nil
+		}, nil
+
+	case ir.OpGEP:
+		getAddr, err := c.compileOperand(e, in.Addr)
+		if err != nil {
+			return nil, err
+		}
+		dst := in.Dst
+		stride := in.Stride
+		if in.A.Kind == ir.OperConstInt {
+			delta := stride * in.A.Int
+			return func(e *core.Engine, fr *core.Frame) error {
+				fr.Regs[dst] = core.PtrValue(getAddr(e, fr).P.Add(delta))
+				return nil
+			}, nil
+		}
+		getIdx, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.PtrValue(getAddr(e, fr).P.Add(stride * getIdx(e, fr).I))
+			return nil
+		}, nil
+
+	case ir.OpBin:
+		return c.compileBin(e, in, fname, line)
+
+	case ir.OpCmp:
+		return c.compileCmp(e, in)
+
+	case ir.OpCast:
+		return c.compileCast(e, in)
+
+	case ir.OpSelect:
+		getC, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
+		getT, err := c.compileOperand(e, in.B)
+		if err != nil {
+			return nil, err
+		}
+		getF, err := c.compileOperand(e, in.C)
+		if err != nil {
+			return nil, err
+		}
+		dst := in.Dst
+		return func(e *core.Engine, fr *core.Frame) error {
+			if getC(e, fr).I != 0 {
+				fr.Regs[dst] = getT(e, fr)
+			} else {
+				fr.Regs[dst] = getF(e, fr)
+			}
+			return nil
+		}, nil
+
+	case ir.OpCall:
+		return c.compileCall(e, in, fname)
+	}
+	return nil, fmt.Errorf("jit: unexpected opcode %v mid-block", in.Op)
+}
+
+func (c *Compiler) compileTerm(e *core.Engine, f *ir.Func, in *ir.Instr) (term, error) {
+	switch in.Op {
+	case ir.OpBr:
+		next := in.Blk0
+		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+			return next, core.Value{}, false, nil
+		}, nil
+	case ir.OpCondBr:
+		getC, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
+		t, fl := in.Blk0, in.Blk1
+		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+			if getC(e, fr).I != 0 {
+				return t, core.Value{}, false, nil
+			}
+			return fl, core.Value{}, false, nil
+		}, nil
+	case ir.OpSwitch:
+		getV, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
+		def := in.Blk0
+		table := make(map[int64]int, len(in.Cases))
+		for _, cs := range in.Cases {
+			table[cs.Val] = cs.Blk
+		}
+		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+			if blk, ok := table[getV(e, fr).I]; ok {
+				return blk, core.Value{}, false, nil
+			}
+			return def, core.Value{}, false, nil
+		}, nil
+	case ir.OpRet:
+		if in.A.Kind == ir.OperNone {
+			return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+				return 0, core.Value{}, true, nil
+			}, nil
+		}
+		getV, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+			return 0, getV(e, fr), true, nil
+		}, nil
+	case ir.OpUnreachable:
+		name := f.Name
+		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+			return 0, core.Value{}, false, fmt.Errorf("jit: reached unreachable in %s", name)
+		}, nil
+	}
+	return nil, fmt.Errorf("jit: bad terminator %v", in.Op)
+}

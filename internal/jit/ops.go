@@ -1,0 +1,311 @@
+package jit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// compileBin specializes an arithmetic instruction: the operator and width
+// are baked into the closure, so the hot path is a single Go function with
+// no dispatch. Division keeps its zero check (a trap the paper's compiler
+// must preserve: safe semantics).
+func (c *Compiler) compileBin(e *core.Engine, in *ir.Instr, fname string, line int) (step, error) {
+	getA, err := c.compileOperand(e, in.A)
+	if err != nil {
+		return nil, err
+	}
+	getB, err := c.compileOperand(e, in.B)
+	if err != nil {
+		return nil, err
+	}
+	dst := in.Dst
+	if in.Bin.IsFloatOp() {
+		bits := 64
+		if ft, ok := in.Ty.(*ir.FloatType); ok {
+			bits = ft.Bits
+		}
+		var fop func(a, b float64) float64
+		switch in.Bin {
+		case ir.FAdd:
+			fop = func(a, b float64) float64 { return a + b }
+		case ir.FSub:
+			fop = func(a, b float64) float64 { return a - b }
+		case ir.FMul:
+			fop = func(a, b float64) float64 { return a * b }
+		case ir.FDiv:
+			fop = func(a, b float64) float64 { return a / b }
+		case ir.FRem:
+			fop = math.Mod
+		}
+		if bits == 32 {
+			inner := fop
+			fop = func(a, b float64) float64 { return float64(float32(inner(a, b))) }
+		}
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.FloatValue(fop(getA(e, fr).F, getB(e, fr).F))
+			return nil
+		}, nil
+	}
+
+	bits := intBits(in.Ty)
+	shift := uint(64 - bits)
+	norm := func(v int64) int64 { return v }
+	if bits < 64 {
+		norm = func(v int64) int64 { return v << shift >> shift }
+	}
+	switch in.Bin {
+	case ir.Add:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(norm(getA(e, fr).I + getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Sub:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(norm(getA(e, fr).I - getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Mul:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(norm(getA(e, fr).I * getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.And:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(getA(e, fr).I & getB(e, fr).I)
+			return nil
+		}, nil
+	case ir.Or:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(getA(e, fr).I | getB(e, fr).I)
+			return nil
+		}, nil
+	case ir.Xor:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(getA(e, fr).I ^ getB(e, fr).I)
+			return nil
+		}, nil
+	case ir.Shl:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(norm(getA(e, fr).I << (uint64(getB(e, fr).I) & 63)))
+			return nil
+		}, nil
+	case ir.AShr:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(getA(e, fr).I >> (uint64(getB(e, fr).I) & 63))
+			return nil
+		}, nil
+	}
+	// The less common operators (division, remainders, logical shift) fall
+	// back to the shared ALU, keeping the zero-divide check.
+	op := in.Bin
+	b := bits
+	return func(e *core.Engine, fr *core.Frame) error {
+		v, ok := ir.EvalIntBin(op, b, getA(e, fr).I, getB(e, fr).I)
+		if !ok {
+			return locate(&core.BugError{Kind: core.DivideByZero}, fname, line)
+		}
+		fr.Regs[dst] = core.IntValue(v)
+		return nil
+	}, nil
+}
+
+func (c *Compiler) compileCmp(e *core.Engine, in *ir.Instr) (step, error) {
+	getA, err := c.compileOperand(e, in.A)
+	if err != nil {
+		return nil, err
+	}
+	getB, err := c.compileOperand(e, in.B)
+	if err != nil {
+		return nil, err
+	}
+	dst := in.Dst
+	switch {
+	case in.Pred.IsFloatPred():
+		pred := in.Pred
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(ir.EvalFloatCmp(pred, getA(e, fr).F, getB(e, fr).F)))
+			return nil
+		}, nil
+	case ir.IsPtr(in.Ty):
+		pred := in.Pred
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(core.EvalPtrCmp(pred, getA(e, fr).P, getB(e, fr).P)))
+			return nil
+		}, nil
+	}
+	bits := intBits(in.Ty)
+	switch in.Pred {
+	case ir.Eq:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(getA(e, fr).I == getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Ne:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(getA(e, fr).I != getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Slt:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(getA(e, fr).I < getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Sle:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(getA(e, fr).I <= getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Sgt:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(getA(e, fr).I > getB(e, fr).I))
+			return nil
+		}, nil
+	case ir.Sge:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(b2i(getA(e, fr).I >= getB(e, fr).I))
+			return nil
+		}, nil
+	}
+	pred := in.Pred
+	return func(e *core.Engine, fr *core.Frame) error {
+		fr.Regs[dst] = core.IntValue(b2i(ir.EvalIntCmp(pred, bits, getA(e, fr).I, getB(e, fr).I)))
+		return nil
+	}, nil
+}
+
+func (c *Compiler) compileCast(e *core.Engine, in *ir.Instr) (step, error) {
+	getA, err := c.compileOperand(e, in.A)
+	if err != nil {
+		return nil, err
+	}
+	dst := in.Dst
+	switch in.Cast {
+	case ir.Bitcast:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = getA(e, fr)
+			return nil
+		}, nil
+	case ir.PtrToInt:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = core.IntValue(core.PointerToken(getA(e, fr).P))
+			return nil
+		}, nil
+	case ir.IntToPtr:
+		return func(e *core.Engine, fr *core.Frame) error {
+			v := getA(e, fr).I
+			if v == 0 {
+				fr.Regs[dst] = core.PtrValue(core.Pointer{})
+			} else {
+				fr.Regs[dst] = core.PtrValue(core.Pointer{Off: v})
+			}
+			return nil
+		}, nil
+	case ir.SExt:
+		return func(e *core.Engine, fr *core.Frame) error {
+			fr.Regs[dst] = getA(e, fr) // values are already sign-extended
+			return nil
+		}, nil
+	}
+	op := in.Cast
+	from, to := intBits(in.Ty), intBits(in.Ty2)
+	return func(e *core.Engine, fr *core.Frame) error {
+		a := getA(e, fr)
+		i, f, isF := ir.EvalCast(op, from, to, a.I, a.F)
+		if isF {
+			fr.Regs[dst] = core.FloatValue(f)
+		} else {
+			fr.Regs[dst] = core.IntValue(i)
+		}
+		return nil
+	}, nil
+}
+
+// compileCall pre-resolves direct callees; indirect calls go through a
+// one-entry inline cache (paper §3.2: "we use inline caches to make
+// function pointer calls efficient").
+func (c *Compiler) compileCall(e *core.Engine, in *ir.Instr, fname string) (step, error) {
+	getters := make([]getter, len(in.Args))
+	for i, a := range in.Args {
+		g, err := c.compileOperand(e, a)
+		if err != nil {
+			return nil, err
+		}
+		getters[i] = g
+	}
+	nFixed := in.FixedArgs
+	if nFixed > len(in.Args) {
+		nFixed = len(in.Args)
+	}
+	varTypes := make([]ir.Type, 0, len(in.Args)-nFixed)
+	for i := nFixed; i < len(in.Args); i++ {
+		varTypes = append(varTypes, in.Args[i].Ty)
+	}
+	dst := in.Dst
+	line := in.Line
+
+	invoke := func(e *core.Engine, fr *core.Frame, idx int) error {
+		args := make([]core.Value, nFixed)
+		for i := 0; i < nFixed; i++ {
+			args[i] = getters[i](e, fr)
+		}
+		var cells []core.Pointer
+		if len(varTypes) > 0 {
+			cells = make([]core.Pointer, len(varTypes))
+			for i := range varTypes {
+				cells[i] = e.BoxVarArg(varTypes[i], getters[nFixed+i](e, fr), i)
+			}
+		}
+		ret, err := e.Invoke(idx, args, cells, fr)
+		if err != nil {
+			return err
+		}
+		if dst >= 0 {
+			fr.Regs[dst] = ret
+		}
+		return nil
+	}
+
+	if in.Callee.Kind == ir.OperFunc {
+		idx := e.Module().FuncIndex(in.Callee.Sym)
+		if idx < 0 {
+			return nil, fmt.Errorf("jit: unknown callee %s", in.Callee.Sym)
+		}
+		return func(e *core.Engine, fr *core.Frame) error {
+			return invoke(e, fr, idx)
+		}, nil
+	}
+	getCallee, err := c.compileOperand(e, in.Callee)
+	if err != nil {
+		return nil, err
+	}
+	return func(e *core.Engine, fr *core.Frame) error {
+		p := getCallee(e, fr).P
+		if p.IsNull() {
+			return locate(&core.BugError{Kind: core.NullDeref, Access: core.CallAccess}, fname, line)
+		}
+		if !p.IsFunc() {
+			return locate(&core.BugError{Kind: core.TypeViolation, Access: core.CallAccess}, fname, line)
+		}
+		return invoke(e, fr, p.FuncIndex())
+	}, nil
+}
+
+func intBits(t ir.Type) int {
+	switch v := t.(type) {
+	case *ir.IntType:
+		return v.Bits
+	case *ir.FloatType:
+		return v.Bits
+	}
+	return 64
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

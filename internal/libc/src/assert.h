@@ -1,0 +1,16 @@
+/* assert.h — Safe Sulong libc. */
+#ifndef _ASSERT_H
+#define _ASSERT_H
+
+void abort(void);
+int printf(const char *fmt, ...);
+
+#define assert(x) \
+    do { \
+        if (!(x)) { \
+            printf("assertion failed\n"); \
+            abort(); \
+        } \
+    } while (0)
+
+#endif

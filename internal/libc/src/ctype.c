@@ -1,0 +1,52 @@
+/* ctype.c — Safe Sulong libc. */
+#include <ctype.h>
+
+int isdigit(int c) {
+    return c >= '0' && c <= '9';
+}
+
+int isalpha(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int isalnum(int c) {
+    return isalpha(c) || isdigit(c);
+}
+
+int isspace(int c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f';
+}
+
+int isupper(int c) {
+    return c >= 'A' && c <= 'Z';
+}
+
+int islower(int c) {
+    return c >= 'a' && c <= 'z';
+}
+
+int isxdigit(int c) {
+    return isdigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+int ispunct(int c) {
+    return c > ' ' && c < 127 && !isalnum(c);
+}
+
+int isprint(int c) {
+    return c >= ' ' && c < 127;
+}
+
+int toupper(int c) {
+    if (islower(c)) {
+        return c - 'a' + 'A';
+    }
+    return c;
+}
+
+int tolower(int c) {
+    if (isupper(c)) {
+        return c - 'A' + 'a';
+    }
+    return c;
+}

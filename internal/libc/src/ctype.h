@@ -1,0 +1,17 @@
+/* ctype.h — Safe Sulong libc. */
+#ifndef _CTYPE_H
+#define _CTYPE_H
+
+int isdigit(int c);
+int isalpha(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int isxdigit(int c);
+int ispunct(int c);
+int isprint(int c);
+int toupper(int c);
+int tolower(int c);
+
+#endif

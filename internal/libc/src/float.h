@@ -1,0 +1,14 @@
+/* float.h — Safe Sulong libc. */
+#ifndef _FLOAT_H
+#define _FLOAT_H
+
+#define FLT_EPSILON 1.19209290e-07f
+#define DBL_EPSILON 2.2204460492503131e-16
+#define FLT_MAX 3.402823466e+38f
+#define DBL_MAX 1.7976931348623158e+308
+#define FLT_MIN 1.175494351e-38f
+#define DBL_MIN 2.2250738585072014e-308
+#define DBL_DIG 15
+#define FLT_DIG 6
+
+#endif

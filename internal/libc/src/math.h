@@ -1,0 +1,26 @@
+/* math.h — Safe Sulong libc. The double entry points are engine builtins. */
+#ifndef _MATH_H
+#define _MATH_H
+
+double sin(double x);
+double cos(double x);
+double tan(double x);
+double asin(double x);
+double acos(double x);
+double atan(double x);
+double atan2(double y, double x);
+double exp(double x);
+double log(double x);
+double log10(double x);
+double pow(double x, double y);
+double sqrt(double x);
+double floor(double x);
+double ceil(double x);
+double fabs(double x);
+double fmod(double x, double y);
+
+#define M_PI 3.14159265358979323846
+#define M_E 2.7182818284590452354
+#define HUGE_VAL (1.0e308 * 10.0)
+
+#endif

@@ -1,0 +1,52 @@
+/* stdarg.h — Safe Sulong libc.
+ *
+ * This is the paper's Figure 9 verbatim (modulo naming): variadic arguments
+ * are materialized by the engine as managed cells; va_start mallocs a
+ * counter + pointer-array struct and fills it via the engine's
+ * count_varargs/get_vararg entry points; va_arg dereferences the next cell
+ * with the user-supplied type. Reading past the last argument is an
+ * out-of-bounds access to the malloc'ed args array, and reading a cell with
+ * a wider type than the argument is an out-of-bounds read of the cell —
+ * which is exactly how Safe Sulong detects format-string bugs.
+ */
+#ifndef _STDARG_H
+#define _STDARG_H
+
+int   __ss_count_varargs(void);
+void *__ss_get_vararg(int i);
+void *malloc(unsigned long size);
+void  free(void *ptr);
+
+struct __varargs {
+    int counter;
+    void **args;
+};
+
+#define va_list struct __varargs *
+
+#define va_start(ap, last) \
+    do { \
+        ap = (va_list) malloc(sizeof(struct __varargs)); \
+        ap->args = (void **) malloc(sizeof(void *) * __ss_count_varargs()); \
+        for (ap->counter = __ss_count_varargs() - 1; \
+             ap->counter != -1; \
+             ap->counter--) { \
+            ap->args[ap->counter] = __ss_get_vararg(ap->counter); \
+        } \
+        ap->counter = 0; \
+    } while (0)
+
+#define va_arg(ap, type) (*((type *)(ap->args[ap->counter++])))
+
+#define va_end(ap) \
+    do { \
+        free(ap->args); \
+        free(ap); \
+        ap = NULL; \
+    } while (0)
+
+#ifndef NULL
+#define NULL ((void*)0)
+#endif
+
+#endif

@@ -1,0 +1,9 @@
+/* stdbool.h — Safe Sulong libc. */
+#ifndef _STDBOOL_H
+#define _STDBOOL_H
+
+#define bool int
+#define true 1
+#define false 0
+
+#endif

@@ -1,0 +1,14 @@
+/* stddef.h — Safe Sulong libc. */
+#ifndef _STDDEF_H
+#define _STDDEF_H
+
+typedef unsigned long size_t;
+typedef long ptrdiff_t;
+
+#ifndef NULL
+#define NULL ((void*)0)
+#endif
+
+#define offsetof(type, member) ((size_t)0)
+
+#endif

@@ -1,0 +1,605 @@
+/* stdio.c — Safe Sulong libc. The formatted-I/O core is plain C on top of
+ * the engine's character builtins. printf pulls variadic arguments through
+ * the paper's Figure 9 machinery (stdarg.h): a missing argument is an
+ * out-of-bounds read of the malloc'ed args array, and a %ld applied to an
+ * int argument is an out-of-bounds read of that argument's 4-byte cell. */
+#include <stdio.h>
+#include <stdarg.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+int __ss_putchar(int c);
+int __ss_getchar(void);
+long __ss_fwrite(const void *p, long n);
+int __ss_ftoa(char *buf, double v, int prec, int kind);
+
+int putchar(int c) {
+    return __ss_putchar(c);
+}
+
+static int __ungot = -2;
+
+int getchar(void) {
+    if (__ungot != -2) {
+        int c = __ungot;
+        __ungot = -2;
+        return c;
+    }
+    return __ss_getchar();
+}
+
+int ungetc(int c, FILE *stream) {
+    (void)stream;
+    __ungot = c;
+    return c;
+}
+
+int fgetc(FILE *stream) {
+    (void)stream;
+    return getchar();
+}
+
+int puts(const char *s) {
+    __ss_fwrite(s, (long)strlen(s));
+    __ss_putchar('\n');
+    return 0;
+}
+
+int fputc(int c, FILE *stream) {
+    (void)stream;
+    return __ss_putchar(c);
+}
+
+int fputs(const char *s, FILE *stream) {
+    (void)stream;
+    __ss_fwrite(s, (long)strlen(s));
+    return 0;
+}
+
+/* gets is unsafe by design; under the managed engine an overflow of the
+ * destination is detected on the exact store that exceeds it. */
+char *gets(char *s) {
+    long i = 0;
+    int c;
+    for (;;) {
+        c = getchar();
+        if (c == EOF && i == 0) {
+            return NULL;
+        }
+        if (c == EOF || c == '\n') {
+            break;
+        }
+        s[i++] = (char)c;
+    }
+    s[i] = '\0';
+    return s;
+}
+
+char *fgets(char *s, int size, FILE *stream) {
+    long i = 0;
+    int c;
+    (void)stream;
+    if (size <= 0) {
+        return NULL;
+    }
+    while (i < size - 1) {
+        c = getchar();
+        if (c == EOF) {
+            break;
+        }
+        s[i++] = (char)c;
+        if (c == '\n') {
+            break;
+        }
+    }
+    if (i == 0) {
+        return NULL;
+    }
+    s[i] = '\0';
+    return s;
+}
+
+size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream) {
+    (void)stream;
+    __ss_fwrite(ptr, (long)(size * nmemb));
+    return nmemb;
+}
+
+size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream) {
+    char *out = (char *)ptr;
+    size_t total = size * nmemb;
+    size_t i;
+    (void)stream;
+    for (i = 0; i < total; i++) {
+        int c = getchar();
+        if (c == EOF) {
+            return i / size;
+        }
+        out[i] = (char)c;
+    }
+    return nmemb;
+}
+
+FILE *fopen(const char *path, const char *mode) {
+    (void)path;
+    (void)mode;
+    return NULL; /* no filesystem; programs use the standard streams */
+}
+
+int fclose(FILE *stream) {
+    (void)stream;
+    return 0;
+}
+
+int fflush(FILE *stream) {
+    (void)stream;
+    return 0;
+}
+
+/* ---- formatted output ---- */
+
+/* __emit appends one char either to a buffer (bounded by cap) or to stdout.
+ * Buffer stores are engine-checked, so sprintf overflowing its destination
+ * is detected on the exact byte that exceeds the object. */
+struct __fmt_out {
+    char *buf;
+    long cap;
+    long n;
+};
+
+static void __emit(struct __fmt_out *o, int c) {
+    if (o->buf == NULL) {
+        __ss_putchar(c);
+    } else if (o->cap < 0 || o->n < o->cap - 1) {
+        o->buf[o->n] = (char)c;
+    }
+    o->n++;
+}
+
+static void __emit_str(struct __fmt_out *o, const char *s, long len) {
+    long i;
+    for (i = 0; i < len; i++) {
+        __emit(o, s[i]);
+    }
+}
+
+static void __pad(struct __fmt_out *o, int c, long n) {
+    while (n > 0) {
+        __emit(o, c);
+        n--;
+    }
+}
+
+/* __utoa formats an unsigned long in the given base into buf (reversed
+ * digits, then fixed); returns the length. buf must hold >= 24 chars. */
+static int __utoa(unsigned long v, int base, int upper, char *buf) {
+    const char *digits = upper ? "0123456789ABCDEF" : "0123456789abcdef";
+    int n = 0;
+    int i;
+    if (v == 0) {
+        buf[0] = '0';
+        return 1;
+    }
+    while (v != 0) {
+        buf[n++] = digits[v % (unsigned long)base];
+        v = v / (unsigned long)base;
+    }
+    for (i = 0; i < n / 2; i++) {
+        char t = buf[i];
+        buf[i] = buf[n - 1 - i];
+        buf[n - 1 - i] = t;
+    }
+    return n;
+}
+
+static int __vformat(struct __fmt_out *o, const char *fmt, va_list ap) {
+    long i;
+    for (i = 0; fmt[i] != '\0'; i++) {
+        char c = fmt[i];
+        int leftAlign = 0, zeroPad = 0, plusSign = 0, spaceSign = 0, altForm = 0;
+        long width = 0;
+        long prec = -1;
+        int longMod = 0;
+        char conv;
+        char numbuf[32];
+        if (c != '%') {
+            __emit(o, c);
+            continue;
+        }
+        i++;
+        /* flags */
+        for (;;) {
+            c = fmt[i];
+            if (c == '-') {
+                leftAlign = 1;
+            } else if (c == '0') {
+                zeroPad = 1;
+            } else if (c == '+') {
+                plusSign = 1;
+            } else if (c == ' ') {
+                spaceSign = 1;
+            } else if (c == '#') {
+                altForm = 1;
+            } else {
+                break;
+            }
+            i++;
+        }
+        /* width */
+        if (fmt[i] == '*') {
+            width = (long)va_arg(ap, int);
+            if (width < 0) {
+                leftAlign = 1;
+                width = -width;
+            }
+            i++;
+        } else {
+            while (isdigit(fmt[i])) {
+                width = width * 10 + (fmt[i] - '0');
+                i++;
+            }
+        }
+        /* precision */
+        if (fmt[i] == '.') {
+            i++;
+            prec = 0;
+            if (fmt[i] == '*') {
+                prec = (long)va_arg(ap, int);
+                i++;
+            } else {
+                while (isdigit(fmt[i])) {
+                    prec = prec * 10 + (fmt[i] - '0');
+                    i++;
+                }
+            }
+        }
+        /* length modifiers */
+        while (fmt[i] == 'l' || fmt[i] == 'h' || fmt[i] == 'z') {
+            if (fmt[i] == 'l' || fmt[i] == 'z') {
+                longMod = 1;
+            }
+            i++;
+        }
+        conv = fmt[i];
+        if (conv == '%') {
+            __emit(o, '%');
+            continue;
+        }
+        if (conv == 'c') {
+            int ch = va_arg(ap, int);
+            __pad(o, ' ', width - 1);
+            __emit(o, ch);
+            continue;
+        }
+        if (conv == 's') {
+            const char *s = va_arg(ap, const char *);
+            long len;
+            if (s == NULL) {
+                s = "(null)";
+            }
+            len = (long)strlen(s);
+            if (prec >= 0 && len > prec) {
+                len = prec;
+            }
+            if (!leftAlign) {
+                __pad(o, ' ', width - len);
+            }
+            __emit_str(o, s, len);
+            if (leftAlign) {
+                __pad(o, ' ', width - len);
+            }
+            continue;
+        }
+        if (conv == 'd' || conv == 'i' || conv == 'u' || conv == 'x' || conv == 'X' || conv == 'o' || conv == 'p') {
+            unsigned long uv;
+            int neg = 0;
+            int base = 10;
+            int upper = 0;
+            int len;
+            long total;
+            /* %ld on an int-sized argument reads 8 bytes from a 4-byte
+             * cell: the engine reports the out-of-bounds read (Fig. 12). */
+            if (conv == 'p') {
+                uv = (unsigned long)va_arg(ap, void *);
+                base = 16;
+                altForm = 1;
+            } else if (conv == 'd' || conv == 'i') {
+                long sv;
+                if (longMod) {
+                    sv = va_arg(ap, long);
+                } else {
+                    sv = (long)va_arg(ap, int);
+                }
+                if (sv < 0) {
+                    neg = 1;
+                    uv = (unsigned long)(-sv);
+                } else {
+                    uv = (unsigned long)sv;
+                }
+            } else {
+                if (longMod) {
+                    uv = va_arg(ap, unsigned long);
+                } else {
+                    uv = (unsigned long)va_arg(ap, unsigned int);
+                }
+                if (conv == 'x') {
+                    base = 16;
+                } else if (conv == 'X') {
+                    base = 16;
+                    upper = 1;
+                } else if (conv == 'o') {
+                    base = 8;
+                }
+            }
+            len = __utoa(uv, base, upper, numbuf);
+            total = len;
+            if (neg || plusSign || spaceSign) {
+                total++;
+            }
+            if (altForm && base == 16) {
+                total += 2;
+            }
+            if (prec > len) {
+                total += prec - len;
+            }
+            if (!leftAlign && !zeroPad) {
+                __pad(o, ' ', width - total);
+            }
+            if (neg) {
+                __emit(o, '-');
+            } else if (plusSign) {
+                __emit(o, '+');
+            } else if (spaceSign) {
+                __emit(o, ' ');
+            }
+            if (altForm && base == 16) {
+                __emit(o, '0');
+                __emit(o, upper ? 'X' : 'x');
+            }
+            if (!leftAlign && zeroPad) {
+                __pad(o, '0', width - total);
+            }
+            if (prec > len) {
+                __pad(o, '0', prec - len);
+            }
+            __emit_str(o, numbuf, len);
+            if (leftAlign) {
+                __pad(o, ' ', width - total);
+            }
+            continue;
+        }
+        if (conv == 'f' || conv == 'e' || conv == 'g' || conv == 'E' || conv == 'G') {
+            double dv = va_arg(ap, double);
+            char fbuf[64];
+            int len;
+            long pr = prec;
+            if (pr < 0) {
+                pr = 6;
+            }
+            if (conv == 'g' || conv == 'G') {
+                if (pr == 0) {
+                    pr = 1;
+                }
+                len = __ss_ftoa(fbuf, dv, (int)pr, 'g');
+            } else if (conv == 'e' || conv == 'E') {
+                len = __ss_ftoa(fbuf, dv, (int)pr, 'e');
+            } else {
+                len = __ss_ftoa(fbuf, dv, (int)pr, 'f');
+            }
+            if (!leftAlign) {
+                __pad(o, zeroPad ? '0' : ' ', width - len);
+            }
+            __emit_str(o, fbuf, len);
+            if (leftAlign) {
+                __pad(o, ' ', width - len);
+            }
+            continue;
+        }
+        /* Unknown conversion: emit it literally. */
+        __emit(o, '%');
+        __emit(o, conv);
+    }
+    return (int)o->n;
+}
+
+int printf(const char *fmt, ...) {
+    struct __fmt_out o;
+    va_list ap;
+    int n;
+    o.buf = NULL;
+    o.cap = 0;
+    o.n = 0;
+    va_start(ap, fmt);
+    n = __vformat(&o, fmt, ap);
+    va_end(ap);
+    return n;
+}
+
+int vprintf(const char *fmt, va_list ap) {
+    struct __fmt_out o;
+    o.buf = NULL;
+    o.cap = 0;
+    o.n = 0;
+    return __vformat(&o, fmt, ap);
+}
+
+int fprintf(FILE *stream, const char *fmt, ...) {
+    struct __fmt_out o;
+    va_list ap;
+    int n;
+    (void)stream;
+    o.buf = NULL;
+    o.cap = 0;
+    o.n = 0;
+    va_start(ap, fmt);
+    n = __vformat(&o, fmt, ap);
+    va_end(ap);
+    return n;
+}
+
+int sprintf(char *buf, const char *fmt, ...) {
+    struct __fmt_out o;
+    va_list ap;
+    int n;
+    o.buf = buf;
+    o.cap = -1; /* unbounded: overflow is caught by the managed object */
+    o.n = 0;
+    va_start(ap, fmt);
+    n = __vformat(&o, fmt, ap);
+    va_end(ap);
+    buf[n] = '\0';
+    return n;
+}
+
+int snprintf(char *buf, size_t size, const char *fmt, ...) {
+    struct __fmt_out o;
+    va_list ap;
+    int n;
+    o.buf = buf;
+    o.cap = (long)size;
+    o.n = 0;
+    va_start(ap, fmt);
+    n = __vformat(&o, fmt, ap);
+    va_end(ap);
+    if (size > 0) {
+        if (o.n < (long)size) {
+            buf[o.n] = '\0';
+        } else {
+            buf[size - 1] = '\0';
+        }
+    }
+    return n;
+}
+
+/* ---- formatted input ---- */
+
+static int __skip_space(void) {
+    int c = getchar();
+    while (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        c = getchar();
+    }
+    return c;
+}
+
+static int __vscanf(const char *fmt, va_list ap) {
+    int assigned = 0;
+    long i;
+    for (i = 0; fmt[i] != '\0'; i++) {
+        char c = fmt[i];
+        if (isspace(c)) {
+            continue;
+        }
+        if (c != '%') {
+            int in = __skip_space();
+            if (in != c) {
+                ungetc(in, stdin);
+                return assigned;
+            }
+            continue;
+        }
+        i++;
+        {
+        int longMod = 0;
+        while (fmt[i] == 'l' || fmt[i] == 'h' || fmt[i] == 'z') {
+            if (fmt[i] == 'l') {
+                longMod = 1;
+            }
+            i++;
+        }
+        c = fmt[i];
+        if (c == 'd' || c == 'u' || c == 'i') {
+            int neg = 0;
+            long v = 0;
+            int any = 0;
+            int in = __skip_space();
+            if (in == '-') {
+                neg = 1;
+                in = getchar();
+            } else if (in == '+') {
+                in = getchar();
+            }
+            while (in >= '0' && in <= '9') {
+                v = v * 10 + (in - '0');
+                any = 1;
+                in = getchar();
+            }
+            ungetc(in, stdin);
+            if (!any) {
+                return assigned;
+            }
+            /* The target pointer is a vararg; storing through it is fully
+             * checked, so scanf("%d", &small_object) overflows loudly. */
+            *va_arg(ap, int *) = (int)(neg ? -v : v);
+            assigned++;
+            continue;
+        }
+        if (c == 'f' || c == 'e' || c == 'g') {
+            char nb[64];
+            int k = 0;
+            int in = __skip_space();
+            while (k < 63 && (isdigit(in) || in == '-' || in == '+' || in == '.' || in == 'e' || in == 'E')) {
+                nb[k++] = (char)in;
+                in = getchar();
+            }
+            ungetc(in, stdin);
+            nb[k] = '\0';
+            if (k == 0) {
+                return assigned;
+            }
+            if (longMod) {
+                *va_arg(ap, double *) = atof(nb);
+            } else {
+                *va_arg(ap, float *) = (float)atof(nb);
+            }
+            assigned++;
+            continue;
+        }
+        if (c == 's') {
+            char *out = va_arg(ap, char *);
+            long k = 0;
+            int in = __skip_space();
+            if (in == EOF) {
+                return assigned == 0 ? EOF : assigned;
+            }
+            while (in != EOF && !isspace(in)) {
+                out[k++] = (char)in;
+                in = getchar();
+            }
+            ungetc(in, stdin);
+            out[k] = '\0';
+            assigned++;
+            continue;
+        }
+        if (c == 'c') {
+            int in = getchar();
+            if (in == EOF) {
+                return assigned == 0 ? EOF : assigned;
+            }
+            *va_arg(ap, char *) = (char)in;
+            assigned++;
+            continue;
+        }
+        }
+    }
+    return assigned;
+}
+
+int scanf(const char *fmt, ...) {
+    va_list ap;
+    int n;
+    va_start(ap, fmt);
+    n = __vscanf(fmt, ap);
+    va_end(ap);
+    return n;
+}
+
+int fscanf(FILE *stream, const char *fmt, ...) {
+    va_list ap;
+    int n;
+    (void)stream;
+    va_start(ap, fmt);
+    n = __vscanf(fmt, ap);
+    va_end(ap);
+    return n;
+}

@@ -1,0 +1,43 @@
+/* stdio.h — Safe Sulong libc. FILE handles are opaque tokens; only the
+ * standard streams exist (the engine merges stderr into stdout). */
+#ifndef _STDIO_H
+#define _STDIO_H
+
+#include <stddef.h>
+#include <stdarg.h>
+
+typedef int FILE;
+
+#define stdin  ((FILE *)1)
+#define stdout ((FILE *)2)
+#define stderr ((FILE *)3)
+
+#define EOF (-1)
+
+int putchar(int c);
+int getchar(void);
+int puts(const char *s);
+char *gets(char *s);
+char *fgets(char *s, int size, FILE *stream);
+int fputc(int c, FILE *stream);
+int fputs(const char *s, FILE *stream);
+int fgetc(FILE *stream);
+int ungetc(int c, FILE *stream);
+
+int printf(const char *fmt, ...);
+int fprintf(FILE *stream, const char *fmt, ...);
+int sprintf(char *buf, const char *fmt, ...);
+int snprintf(char *buf, size_t size, const char *fmt, ...);
+int vprintf(const char *fmt, va_list ap);
+
+int scanf(const char *fmt, ...);
+int fscanf(FILE *stream, const char *fmt, ...);
+int sscanf(const char *s, const char *fmt, ...);
+
+size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);
+size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);
+FILE *fopen(const char *path, const char *mode);
+int fclose(FILE *stream);
+int fflush(FILE *stream);
+
+#endif

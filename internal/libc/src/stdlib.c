@@ -1,0 +1,203 @@
+/* stdlib.c — Safe Sulong libc. malloc/calloc/realloc/free/exit/abort are
+ * engine builtins; everything else here is plain C, interpreted managed. */
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+int atoi(const char *s) {
+    return (int)atol(s);
+}
+
+long atol(const char *s) {
+    long v = 0;
+    int neg = 0;
+    while (isspace(*s)) {
+        s++;
+    }
+    if (*s == '-') {
+        neg = 1;
+        s++;
+    } else if (*s == '+') {
+        s++;
+    }
+    while (isdigit(*s)) {
+        v = v * 10 + (*s - '0');
+        s++;
+    }
+    return neg ? -v : v;
+}
+
+long strtol(const char *s, char **endptr, int base) {
+    long v = 0;
+    int neg = 0;
+    while (isspace(*s)) {
+        s++;
+    }
+    if (*s == '-') {
+        neg = 1;
+        s++;
+    } else if (*s == '+') {
+        s++;
+    }
+    if ((base == 0 || base == 16) && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s += 2;
+    } else if (base == 0 && s[0] == '0') {
+        base = 8;
+    } else if (base == 0) {
+        base = 10;
+    }
+    for (;;) {
+        int d;
+        char c = *s;
+        if (isdigit(c)) {
+            d = c - '0';
+        } else if (c >= 'a' && c <= 'z') {
+            d = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'Z') {
+            d = c - 'A' + 10;
+        } else {
+            break;
+        }
+        if (d >= base) {
+            break;
+        }
+        v = v * base + d;
+        s++;
+    }
+    if (endptr != NULL) {
+        *endptr = (char *)s;
+    }
+    return neg ? -v : v;
+}
+
+double __ss_atof(const char *s);
+
+double atof(const char *s) {
+    return __ss_atof(s);
+}
+
+double strtod(const char *s, char **endptr) {
+    /* Advance endptr over a float-looking prefix, then parse via builtin. */
+    const char *p = s;
+    while (isspace(*p)) {
+        p++;
+    }
+    if (*p == '-' || *p == '+') {
+        p++;
+    }
+    while (isdigit(*p)) {
+        p++;
+    }
+    if (*p == '.') {
+        p++;
+        while (isdigit(*p)) {
+            p++;
+        }
+    }
+    if (*p == 'e' || *p == 'E') {
+        p++;
+        if (*p == '-' || *p == '+') {
+            p++;
+        }
+        while (isdigit(*p)) {
+            p++;
+        }
+    }
+    if (endptr != NULL) {
+        *endptr = (char *)p;
+    }
+    return __ss_atof(s);
+}
+
+int abs(int x) {
+    return x < 0 ? -x : x;
+}
+
+long labs(long x) {
+    return x < 0 ? -x : x;
+}
+
+/* rand: the POSIX example LCG, so runs are deterministic across engines. */
+static unsigned long __rand_state = 1;
+
+int rand(void) {
+    __rand_state = __rand_state * 6364136223846793005ul + 1442695040888963407ul;
+    return (int)((__rand_state >> 33) & 0x7fffffff);
+}
+
+void srand(unsigned int seed) {
+    __rand_state = seed;
+}
+
+/* qsort: in-place quicksort with insertion sort below a threshold, using an
+ * explicit byte-wise swap. The comparator is a C function pointer, which the
+ * engine dispatches through its function table. */
+static void __swap_bytes(char *a, char *b, size_t size) {
+    size_t i;
+    for (i = 0; i < size; i++) {
+        char t = a[i];
+        a[i] = b[i];
+        b[i] = t;
+    }
+}
+
+static void __qsort_rec(char *base, long lo, long hi, size_t size,
+                        int (*cmp)(const void *, const void *)) {
+    long i, j;
+    char *pivot;
+    if (hi - lo < 8) {
+        for (i = lo + 1; i <= hi; i++) {
+            for (j = i; j > lo && cmp(base + j * size, base + (j - 1) * size) < 0; j--) {
+                __swap_bytes(base + j * size, base + (j - 1) * size, size);
+            }
+        }
+        return;
+    }
+    __swap_bytes(base + ((lo + hi) / 2) * size, base + hi * size, size);
+    pivot = base + hi * size;
+    i = lo - 1;
+    for (j = lo; j < hi; j++) {
+        if (cmp(base + j * size, pivot) <= 0) {
+            i++;
+            __swap_bytes(base + i * size, base + j * size, size);
+        }
+    }
+    i++;
+    __swap_bytes(base + i * size, base + hi * size, size);
+    __qsort_rec(base, lo, i - 1, size, cmp);
+    __qsort_rec(base, i + 1, hi, size, cmp);
+}
+
+void qsort(void *base, size_t nmemb, size_t size,
+           int (*cmp)(const void *, const void *)) {
+    if (nmemb > 1) {
+        __qsort_rec((char *)base, 0, (long)nmemb - 1, size, cmp);
+    }
+}
+
+void *bsearch(const void *key, const void *base, size_t nmemb, size_t size,
+              int (*cmp)(const void *, const void *)) {
+    long lo = 0;
+    long hi = (long)nmemb - 1;
+    while (lo <= hi) {
+        long mid = lo + (hi - lo) / 2;
+        const char *el = (const char *)base + mid * size;
+        int c = cmp(key, el);
+        if (c == 0) {
+            return (void *)el;
+        }
+        if (c < 0) {
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return NULL;
+}
+
+char *__ss_getenv(const char *name);
+
+char *getenv(const char *name) {
+    return __ss_getenv(name);
+}

@@ -1,0 +1,39 @@
+/* stdlib.h — Safe Sulong libc. malloc/free family are engine builtins
+ * backed by managed objects (paper §3.3); the rest is C. */
+#ifndef _STDLIB_H
+#define _STDLIB_H
+
+#include <stddef.h>
+
+void *malloc(size_t size);
+void *calloc(size_t nmemb, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+
+void exit(int status);
+void abort(void);
+
+int atoi(const char *s);
+long atol(const char *s);
+double atof(const char *s);
+long strtol(const char *s, char **endptr, int base);
+double strtod(const char *s, char **endptr);
+
+int abs(int x);
+long labs(long x);
+
+int rand(void);
+void srand(unsigned int seed);
+#define RAND_MAX 2147483647
+
+void qsort(void *base, size_t nmemb, size_t size,
+           int (*cmp)(const void *, const void *));
+void *bsearch(const void *key, const void *base, size_t nmemb, size_t size,
+              int (*cmp)(const void *, const void *));
+
+char *getenv(const char *name);
+
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+
+#endif

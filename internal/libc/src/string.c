@@ -1,0 +1,218 @@
+/* string.c — Safe Sulong libc, written in standard C and interpreted by the
+ * managed engine. Every access below is bounds-checked by the engine, so a
+ * caller passing an unterminated or undersized buffer is reported exactly
+ * (paper §3.1: "a libc ... optimized for safety instead of performance").
+ * Note the deliberately byte-wise strlen: no word-wise tricks (P4). */
+#include <stddef.h>
+#include <string.h>
+#include <stdlib.h>
+
+void *__builtin_memcpy(void *dst, const void *src, unsigned long n);
+void *__builtin_memset(void *s, int c, unsigned long n);
+
+size_t strlen(const char *s) {
+    size_t n = 0;
+    while (s[n] != '\0') {
+        n++;
+    }
+    return n;
+}
+
+char *strcpy(char *dst, const char *src) {
+    size_t i = 0;
+    while ((dst[i] = src[i]) != '\0') {
+        i++;
+    }
+    return dst;
+}
+
+char *strncpy(char *dst, const char *src, size_t n) {
+    size_t i;
+    for (i = 0; i < n && src[i] != '\0'; i++) {
+        dst[i] = src[i];
+    }
+    for (; i < n; i++) {
+        dst[i] = '\0';
+    }
+    return dst;
+}
+
+char *strcat(char *dst, const char *src) {
+    size_t i = strlen(dst);
+    size_t j = 0;
+    while ((dst[i + j] = src[j]) != '\0') {
+        j++;
+    }
+    return dst;
+}
+
+char *strncat(char *dst, const char *src, size_t n) {
+    size_t i = strlen(dst);
+    size_t j;
+    for (j = 0; j < n && src[j] != '\0'; j++) {
+        dst[i + j] = src[j];
+    }
+    dst[i + j] = '\0';
+    return dst;
+}
+
+int strcmp(const char *a, const char *b) {
+    size_t i = 0;
+    while (a[i] != '\0' && a[i] == b[i]) {
+        i++;
+    }
+    return (unsigned char)a[i] - (unsigned char)b[i];
+}
+
+int strncmp(const char *a, const char *b, size_t n) {
+    size_t i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) {
+            return (unsigned char)a[i] - (unsigned char)b[i];
+        }
+        if (a[i] == '\0') {
+            return 0;
+        }
+    }
+    return 0;
+}
+
+char *strchr(const char *s, int c) {
+    size_t i = 0;
+    for (;;) {
+        if (s[i] == (char)c) {
+            return (char *)(s + i);
+        }
+        if (s[i] == '\0') {
+            return NULL;
+        }
+        i++;
+    }
+}
+
+char *strrchr(const char *s, int c) {
+    char *found = NULL;
+    size_t i = 0;
+    for (;;) {
+        if (s[i] == (char)c) {
+            found = (char *)(s + i);
+        }
+        if (s[i] == '\0') {
+            return found;
+        }
+        i++;
+    }
+}
+
+char *strstr(const char *haystack, const char *needle) {
+    size_t nl = strlen(needle);
+    size_t i;
+    if (nl == 0) {
+        return (char *)haystack;
+    }
+    for (i = 0; haystack[i] != '\0'; i++) {
+        if (strncmp(haystack + i, needle, nl) == 0) {
+            return (char *)(haystack + i);
+        }
+    }
+    return NULL;
+}
+
+size_t strspn(const char *s, const char *accept) {
+    size_t n = 0;
+    while (s[n] != '\0' && strchr(accept, s[n]) != NULL) {
+        n++;
+    }
+    return n;
+}
+
+size_t strcspn(const char *s, const char *reject) {
+    size_t n = 0;
+    while (s[n] != '\0' && strchr(reject, s[n]) == NULL) {
+        n++;
+    }
+    return n;
+}
+
+/* strtok keeps its state in a static pointer, as the standard requires.
+ * The delimiter scan goes through strchr, whose reads are checked: passing
+ * an unterminated delimiter string (paper Fig. 11) is reported here rather
+ * than silently scanning adjacent memory. */
+static char *__strtok_save;
+
+char *strtok(char *s, const char *delim) {
+    char *start;
+    if (s == NULL) {
+        s = __strtok_save;
+    }
+    if (s == NULL) {
+        return NULL;
+    }
+    while (*s != '\0' && strchr(delim, *s) != NULL) {
+        s++;
+    }
+    if (*s == '\0') {
+        __strtok_save = NULL;
+        return NULL;
+    }
+    start = s;
+    while (*s != '\0' && strchr(delim, *s) == NULL) {
+        s++;
+    }
+    if (*s == '\0') {
+        __strtok_save = NULL;
+    } else {
+        *s = '\0';
+        __strtok_save = s + 1;
+    }
+    return start;
+}
+
+char *strdup(const char *s) {
+    size_t n = strlen(s);
+    char *out = (char *)malloc(n + 1);
+    if (out == NULL) {
+        return NULL;
+    }
+    __builtin_memcpy(out, s, n + 1);
+    return out;
+}
+
+void *memcpy(void *dst, const void *src, size_t n) {
+    __builtin_memcpy(dst, src, n);
+    return dst;
+}
+
+void *memmove(void *dst, const void *src, size_t n) {
+    /* The engine's copy primitive already has memmove semantics. */
+    __builtin_memcpy(dst, src, n);
+    return dst;
+}
+
+void *memset(void *s, int c, size_t n) {
+    __builtin_memset(s, c, n);
+    return s;
+}
+
+int memcmp(const void *a, const void *b, size_t n) {
+    const unsigned char *pa = (const unsigned char *)a;
+    const unsigned char *pb = (const unsigned char *)b;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        if (pa[i] != pb[i]) {
+            return (int)pa[i] - (int)pb[i];
+        }
+    }
+    return 0;
+}
+
+void *memchr(const void *s, int c, size_t n) {
+    const unsigned char *p = (const unsigned char *)s;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        if (p[i] == (unsigned char)c) {
+            return (void *)(p + i);
+        }
+    }
+    return NULL;
+}

@@ -1,0 +1,11 @@
+/* time.h — Safe Sulong libc. */
+#ifndef _TIME_H
+#define _TIME_H
+
+typedef long clock_t;
+typedef long time_t;
+
+clock_t clock(void);
+#define CLOCKS_PER_SEC 1000000L
+
+#endif

@@ -1,0 +1,134 @@
+package nativemem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAndAccess(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 100)
+	if !m.Mapped(0x1000, 100) {
+		t.Error("mapped range not mapped")
+	}
+	if m.Mapped(0, 1) {
+		t.Error("null page should be unmapped")
+	}
+	if f := m.Store(0x1000, 8, 0x1122334455667788); f != nil {
+		t.Fatal(f)
+	}
+	v, f := m.Load(0x1000, 8)
+	if f != nil || v != 0x1122334455667788 {
+		t.Errorf("load = %#x, %v", v, f)
+	}
+	// little-endian byte order
+	b, _ := m.LoadByte(0x1000)
+	if b != 0x88 {
+		t.Errorf("first byte = %#x, want 0x88", b)
+	}
+}
+
+func TestFaultOnUnmapped(t *testing.T) {
+	m := New()
+	if _, f := m.Load(0x5000, 4); f == nil {
+		t.Error("load of unmapped memory must fault")
+	}
+	if f := m.Store(0, 1, 1); f == nil || !f.Write {
+		t.Errorf("store to NULL page: %v", f)
+	}
+	f := &Fault{Addr: 0x10, Write: false}
+	if f.Error() == "" {
+		t.Error("fault message empty")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	m.Map(PageSize-4, 8) // maps pages 0 and 1
+	if f := m.Store(PageSize-2, 4, 0xAABBCCDD); f != nil {
+		t.Fatal(f)
+	}
+	v, f := m.Load(PageSize-2, 4)
+	if f != nil || v != 0xAABBCCDD {
+		t.Errorf("cross-page round trip: %#x %v", v, f)
+	}
+}
+
+func TestPartialPageFaultOnStraddle(t *testing.T) {
+	m := New()
+	m.Map(0x1000, PageSize) // page 1 only
+	// Straddling into unmapped page 2 must fault.
+	if _, f := m.Load(0x1000+PageSize-2, 4); f == nil {
+		t.Error("straddle into unmapped page should fault")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m := New()
+	m.Map(0x2000, 2*PageSize)
+	m.Unmap(0x2000, PageSize)
+	if m.Mapped(0x2000, 1) {
+		t.Error("unmapped page still accessible")
+	}
+	if !m.Mapped(0x2000+PageSize, 1) {
+		t.Error("second page should survive")
+	}
+}
+
+func TestBytesAndCString(t *testing.T) {
+	m := New()
+	m.Map(0x3000, 64)
+	if f := m.WriteBytes(0x3000, []byte("hello\x00world")); f != nil {
+		t.Fatal(f)
+	}
+	s, f := m.CString(0x3000, 64)
+	if f != nil || s != "hello" {
+		t.Errorf("CString = %q, %v", s, f)
+	}
+	data, f := m.ReadBytes(0x3006, 5)
+	if f != nil || string(data) != "world" {
+		t.Errorf("ReadBytes = %q", data)
+	}
+}
+
+func TestLoadStoreRoundTripProperty(t *testing.T) {
+	m := New()
+	m.Map(0x4000, 4*PageSize)
+	f := func(off uint16, v uint64, szSel uint8) bool {
+		sizes := []int64{1, 2, 4, 8}
+		size := sizes[szSel%4]
+		addr := 0x4000 + uint64(off)%(4*PageSize-8)
+		if fa := m.Store(addr, size, v); fa != nil {
+			return false
+		}
+		got, fa := m.Load(addr, size)
+		if fa != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*uint(size)) - 1
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacentWritesAreSilent(t *testing.T) {
+	// The property the whole paper rests on: on the native model, an
+	// overflow of one object silently lands in its neighbour.
+	m := New()
+	m.Map(0x5000, 64)
+	m.Store(0x5000, 8, 1) // "object A"
+	m.Store(0x5008, 8, 2) // "object B" right next to it
+	// Overflow A by 8 bytes: corrupts B, no fault.
+	if f := m.Store(0x5008, 8, 99); f != nil {
+		t.Fatal("intra-page overflow must not fault")
+	}
+	v, _ := m.Load(0x5008, 8)
+	if v != 99 {
+		t.Error("corruption did not land")
+	}
+}

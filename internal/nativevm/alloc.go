@@ -1,0 +1,88 @@
+package nativevm
+
+import (
+	"fmt"
+
+	"repro/internal/nativemem"
+)
+
+// FreeListAlloc is the default native heap: a bump allocator with size-class
+// free lists and immediate LIFO reuse. Reuse is the property the paper's P3
+// hinges on: memory freed and quickly re-allocated makes dangling-pointer
+// accesses look valid again to shadow-memory tools.
+type FreeListAlloc struct {
+	mem   *nativemem.Memory
+	next  uint64
+	limit uint64
+	free  map[int64][]uint64
+	sizes map[uint64]int64
+}
+
+// NewFreeListAlloc builds the default allocator over the heap segment.
+func NewFreeListAlloc(mem *nativemem.Memory) *FreeListAlloc {
+	return &FreeListAlloc{
+		mem:   mem,
+		next:  HeapBase,
+		limit: HeapBase + (1 << 31),
+		free:  map[int64][]uint64{},
+		sizes: map[uint64]int64{},
+	}
+}
+
+func roundClass(size int64) int64 {
+	if size < 16 {
+		size = 16
+	}
+	return (size + 15) &^ 15
+}
+
+// Malloc returns a 16-aligned block; freed blocks of the same class are
+// reused immediately, newest first.
+func (a *FreeListAlloc) Malloc(size int64) uint64 {
+	if size < 0 {
+		return 0
+	}
+	cls := roundClass(size)
+	if lst := a.free[cls]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		a.free[cls] = lst[:len(lst)-1]
+		a.sizes[addr] = cls
+		return addr
+	}
+	addr := a.next
+	a.next += uint64(cls)
+	if a.next > a.limit {
+		return 0 // out of simulated heap
+	}
+	a.mem.Map(addr, uint64(cls))
+	a.sizes[addr] = cls
+	return addr
+}
+
+// Free releases a block back to its size class. Freeing an unknown pointer
+// is what glibc's consistency checks abort on ("free(): invalid pointer").
+func (a *FreeListAlloc) Free(addr uint64) error {
+	cls, ok := a.sizes[addr]
+	if !ok {
+		return &GlibcAbort{What: "free(): invalid pointer", Addr: addr}
+	}
+	delete(a.sizes, addr)
+	a.free[cls] = append(a.free[cls], addr)
+	return nil
+}
+
+// SizeOf reports the usable size of a live block.
+func (a *FreeListAlloc) SizeOf(addr uint64) (int64, bool) {
+	s, ok := a.sizes[addr]
+	return s, ok
+}
+
+// GlibcAbort models glibc detecting heap misuse and aborting the process.
+type GlibcAbort struct {
+	What string
+	Addr uint64
+}
+
+func (e *GlibcAbort) Error() string {
+	return fmt.Sprintf("%s (0x%x): process aborted", e.What, e.Addr)
+}

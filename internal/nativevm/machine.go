@@ -1,0 +1,374 @@
+// Package nativevm executes SIR on a simulated native machine: flat memory
+// (internal/nativemem), a downward-growing stack, a reusing heap allocator,
+// and a "precompiled" libc implemented in Go (internal/nlibc). It models the
+// execution environment that ASan-instrumented binaries and Valgrind-hosted
+// binaries actually run in, including every blind spot the paper exploits:
+// adjacent objects, silent intra-page corruption, heap reuse after free, a
+// kernel-initialized argv/envp block, and an uninstrumented libc.
+package nativevm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/nativemem"
+)
+
+// Address-space layout (lower 47 bits, AMD64-style).
+const (
+	GlobalBase = uint64(0x0000_0000_0001_0000)
+	HeapBase   = uint64(0x0000_0000_1000_0000)
+	StackTop   = uint64(0x0000_0000_7fff_0000)
+	StackSize  = uint64(8 << 20) // 8 MiB, mapped eagerly
+	// ArgvBase is just above the stack: the kernel-initialized block
+	// holding argv pointers, envp pointers, and their strings. No tool
+	// instruments it (paper case study 1).
+	ArgvBase = StackTop + nativemem.PageSize
+
+	// FuncBase is the fictitious text segment: function i has address
+	// FuncBase + 16*i.
+	FuncBase = uint64(0x0000_4000_0000_0000)
+)
+
+// Value is a native scalar: an integer/address or a float.
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntVal and FloatVal build Values.
+func IntVal(v int64) Value     { return Value{I: v} }
+func FloatVal(v float64) Value { return Value{F: v} }
+
+// Frame is a native activation record.
+type Frame struct {
+	Fn      *ir.Func
+	Regs    []Value
+	VaBase  uint64 // start of this call's variadic area (0 if none)
+	VaCount int
+	savedSP uint64
+	frameLo uint64 // lowest sp reached by this frame's allocas
+}
+
+// CallCtx is what a libc function receives: fixed args plus the variadic
+// area, which it reads directly from memory (real varargs have no count;
+// nlibc's printf walks the format string, exactly like the real one).
+type CallCtx struct {
+	Args    []Value
+	VaBase  uint64
+	VaCount int
+	Frame   *Frame // the *calling* IR frame, for __ss_* compatibility shims
+}
+
+// LibFunc is a native library function implemented in Go ("precompiled").
+type LibFunc func(m *Machine, call *CallCtx) (Value, error)
+
+// Checker observes and vets memory traffic; ASan and memcheck implement it.
+// A nil checker means raw native execution.
+type Checker interface {
+	// Load/Store return a report when the access violates the tool's model.
+	Load(addr uint64, size int64) *core.BugError
+	Store(addr uint64, size int64) *core.BugError
+	// StackAlloc/StackFree/GlobalAlloc let tools poison redzones.
+	StackAlloc(addr uint64, size int64)
+	StackFree(lo, hi uint64)
+	GlobalAlloc(addr uint64, size int64)
+}
+
+// Allocator is the heap implementation. ASan substitutes a redzone +
+// quarantine allocator; memcheck wraps the default one with bookkeeping.
+type Allocator interface {
+	Malloc(size int64) uint64
+	Free(addr uint64) error
+	SizeOf(addr uint64) (int64, bool)
+}
+
+// Config configures a native machine.
+type Config struct {
+	Checker Checker
+	// NewAllocator builds the heap allocator over the machine's memory.
+	// nil uses the default first-fit, immediately-reusing allocator.
+	NewAllocator func(mem *nativemem.Memory) Allocator
+	// Libc binds external function names to native implementations.
+	Libc map[string]LibFunc
+	// StackRedzone adds poisoned padding around each stack object
+	// (ASan-style); 0 packs objects adjacently (native reality).
+	StackRedzone int64
+	// GlobalRedzone likewise pads globals.
+	GlobalRedzone int64
+	// PerInstr, when set, runs before every interpreted instruction.
+	// Binary-translation tools (memcheck) use it to charge the shadow
+	// bookkeeping they perform on all operations, not only memory ones.
+	PerInstr func(op int)
+
+	Args     []string
+	Env      []string
+	Stdin    io.Reader
+	Stdout   io.Writer
+	MaxSteps int64
+	MaxDepth int
+}
+
+// Machine is a native execution engine instance.
+type Machine struct {
+	Mem   *nativemem.Memory
+	Mod   *ir.Module
+	Alloc Allocator
+
+	cfg     Config
+	checker Checker
+	libc    map[string]LibFunc
+
+	globalAddr map[string]uint64
+	perInstr   func(op int)
+	sp         uint64
+	stackLow   uint64
+
+	Stdout *bufio.Writer
+	Stdin  *bufio.Reader
+	sink   strings.Builder
+
+	steps    int64
+	maxSteps int64
+	depth    int
+	maxDepth int
+
+	// libc-private state (strtok pointer, rand seed, ungetc pushback).
+	StrtokSave uint64
+	RandState  uint64
+	Ungot      int
+
+	envpAddr uint64
+}
+
+// EnvpAddr returns the address of the kernel-initialized envp array
+// (0 before Run builds the argument block).
+func (m *Machine) EnvpAddr() uint64 { return m.envpAddr }
+
+// New builds a machine and lays out globals, stack, and the argv block.
+func New(mod *ir.Module, cfg Config) (*Machine, error) {
+	m := &Machine{
+		Mem:        nativemem.New(),
+		Mod:        mod,
+		cfg:        cfg,
+		checker:    cfg.Checker,
+		perInstr:   cfg.PerInstr,
+		libc:       cfg.Libc,
+		globalAddr: map[string]uint64{},
+		maxSteps:   cfg.MaxSteps,
+		maxDepth:   cfg.MaxDepth,
+		RandState:  1,
+		Ungot:      -2,
+	}
+	if m.maxSteps == 0 {
+		m.maxSteps = 2_000_000_000
+	}
+	if m.maxDepth == 0 {
+		m.maxDepth = 4096
+	}
+	out := cfg.Stdout
+	if out == nil {
+		out = &m.sink
+	}
+	m.Stdout = bufio.NewWriter(out)
+	in := cfg.Stdin
+	if in == nil {
+		in = strings.NewReader("")
+	}
+	m.Stdin = bufio.NewReader(in)
+
+	if cfg.NewAllocator != nil {
+		m.Alloc = cfg.NewAllocator(m.Mem)
+	} else {
+		m.Alloc = NewFreeListAlloc(m.Mem)
+	}
+
+	// Stack.
+	m.Mem.Map(StackTop-StackSize, StackSize)
+	m.sp = StackTop
+	m.stackLow = StackTop - StackSize
+
+	if err := m.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Checker returns the configured tool checker (nil for raw native).
+func (m *Machine) Checker() Checker { return m.checker }
+
+// Output returns captured stdout when no writer was configured.
+func (m *Machine) Output() string {
+	m.Stdout.Flush()
+	return m.sink.String()
+}
+
+// Steps reports executed instruction count.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// layoutGlobals packs module globals into the data segment, in declaration
+// order, with only natural alignment between them (adjacent objects!), plus
+// the configured redzone when a tool asks for one.
+func (m *Machine) layoutGlobals() error {
+	addr := GlobalBase
+	for _, g := range m.Mod.Globals {
+		align := uint64(g.Ty.Align())
+		if align < 1 {
+			align = 1
+		}
+		addr = (addr + align - 1) / align * align
+		size := g.Ty.Size()
+		if size == 0 {
+			size = 1
+		}
+		m.Mem.Map(addr, uint64(size))
+		m.globalAddr[g.Name] = addr
+		if m.checker != nil {
+			m.checker.GlobalAlloc(addr, size)
+		}
+		if g.Init != nil {
+			if err := m.fillConst(addr, g.Init, g.Ty); err != nil {
+				return fmt.Errorf("nativevm: initializing %s: %w", g.Name, err)
+			}
+		}
+		addr += uint64(size)
+		if m.cfg.GlobalRedzone > 0 {
+			m.Mem.Map(addr, uint64(m.cfg.GlobalRedzone))
+			addr += uint64(m.cfg.GlobalRedzone)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) fillConst(addr uint64, c ir.Const, ty ir.Type) error {
+	switch v := c.(type) {
+	case ir.ConstZero:
+		return nil
+	case ir.ConstIntVal:
+		m.Mem.Store(addr, ty.Size(), uint64(v.V))
+	case ir.ConstFloatVal:
+		bits := 64
+		if ft, ok := ty.(*ir.FloatType); ok {
+			bits = ft.Bits
+		}
+		m.Mem.Store(addr, int64(bits/8), uint64(floatBits(v.V, bits)))
+	case ir.ConstBytes:
+		m.Mem.WriteBytes(addr, v.Data)
+	case ir.ConstArrayVal:
+		at := ty.(*ir.ArrayType)
+		esz := at.Elem.Size()
+		for i, el := range v.Elems {
+			if err := m.fillConst(addr+uint64(int64(i)*esz), el, at.Elem); err != nil {
+				return err
+			}
+		}
+	case ir.ConstStructVal:
+		st := ty.(*ir.StructType)
+		for i, el := range v.Fields {
+			if err := m.fillConst(addr+uint64(st.Fields[i].Offset), el, st.Fields[i].Ty); err != nil {
+				return err
+			}
+		}
+	case ir.ConstGlobalRef:
+		target, ok := m.globalAddr[v.Sym]
+		if !ok {
+			return fmt.Errorf("forward global ref %q not yet laid out", v.Sym)
+		}
+		m.Mem.Store(addr, 8, target+uint64(v.Off))
+	case ir.ConstFuncRef:
+		idx := m.Mod.FuncIndex(v.Sym)
+		if idx < 0 {
+			return fmt.Errorf("unknown function %q", v.Sym)
+		}
+		m.Mem.Store(addr, 8, FuncAddr(idx))
+	default:
+		return fmt.Errorf("unhandled constant %T", c)
+	}
+	return nil
+}
+
+// FuncAddr returns the simulated text address of function idx.
+func FuncAddr(idx int) uint64 { return FuncBase + uint64(idx)*16 }
+
+// FuncIndexOf inverts FuncAddr; returns -1 for non-text addresses.
+func FuncIndexOf(addr uint64) int {
+	if addr < FuncBase || (addr-FuncBase)%16 != 0 {
+		return -1
+	}
+	return int((addr - FuncBase) / 16)
+}
+
+// GlobalAddr returns the data-segment address of a named global.
+func (m *Machine) GlobalAddr(name string) uint64 { return m.globalAddr[name] }
+
+// buildArgvBlock lays out the kernel argument block exactly as execve does:
+// argv pointer array, NULL, envp pointer array, NULL, then the strings.
+// Reading argv[i] past argc walks into envp — the paper's information leak.
+func (m *Machine) buildArgvBlock() (argvAddr, envpAddr uint64, argc int64) {
+	args := append([]string{"program"}, m.cfg.Args...)
+	env := m.cfg.Env
+	total := uint64(8*(len(args)+1+len(env)+1)) + 4096
+	m.Mem.Map(ArgvBase, total)
+
+	argvAddr = ArgvBase
+	envpAddr = ArgvBase + uint64(8*(len(args)+1))
+	strBase := envpAddr + uint64(8*(len(env)+1))
+	cur := strBase
+	writeStr := func(s string) uint64 {
+		at := cur
+		m.Mem.WriteBytes(cur, append([]byte(s), 0))
+		cur += uint64(len(s) + 1)
+		return at
+	}
+	for i, a := range args {
+		m.Mem.Store(argvAddr+uint64(8*i), 8, writeStr(a))
+	}
+	m.Mem.Store(argvAddr+uint64(8*len(args)), 8, 0)
+	for i, kv := range env {
+		m.Mem.Store(envpAddr+uint64(8*i), 8, writeStr(kv))
+	}
+	m.Mem.Store(envpAddr+uint64(8*len(env)), 8, 0)
+	m.envpAddr = envpAddr
+	return argvAddr, envpAddr, int64(len(args))
+}
+
+// Run executes main() and returns the exit code. A *core.BugError is a tool
+// report; a *nativemem.Fault is a machine trap (crash).
+func (m *Machine) Run() (int, error) {
+	mainIdx := m.Mod.FuncIndex("main")
+	if mainIdx < 0 {
+		return 127, fmt.Errorf("nativevm: program has no main function")
+	}
+	argvAddr, envpAddr, argc := m.buildArgvBlock()
+	mainFn := m.Mod.Funcs[mainIdx]
+	var args []Value
+	switch len(mainFn.Sig.Params) {
+	case 0:
+	case 1:
+		args = []Value{IntVal(argc)}
+	case 2:
+		args = []Value{IntVal(argc), IntVal(int64(argvAddr))}
+	default:
+		args = []Value{IntVal(argc), IntVal(int64(argvAddr)), IntVal(int64(envpAddr))}
+	}
+	ret, err := m.Call(mainIdx, args, 0, 0)
+	m.Stdout.Flush()
+	if err != nil {
+		if ex, ok := err.(*core.ExitError); ok {
+			return ex.Code, nil
+		}
+		return -1, err
+	}
+	return int(int32(ret.I)), nil
+}
+
+func floatBits(f float64, bits int) uint64 {
+	if bits == 32 {
+		return uint64(f32bits(float32(f)))
+	}
+	return f64bits(f)
+}

@@ -1,0 +1,122 @@
+// Package nlibc is the native engines' C library: implemented in Go over raw
+// simulated memory, standing in for a precompiled, performance-optimized
+// glibc. Its accesses are normally invisible to the tools (ASan does not
+// instrument prebuilt libraries; Valgrind suppresses its word-wise string
+// loops), which reproduces the paper's P4: bugs in arguments passed to libc
+// escape the baseline tools unless an interceptor exists for that function.
+package nlibc
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/nativevm"
+)
+
+// Table returns the full native libc binding.
+// checked selects Valgrind-style operation: ordinary libc accesses go
+// through the tool's checker (binary instrumentation sees everything),
+// except the word-wise strlen/strcmp fast paths, which Valgrind famously
+// whitelists (paper §2.3, P4). With checked=false (plain native and ASan),
+// no libc access is ever checked.
+func Table(checked bool) map[string]nativevm.LibFunc {
+	t := map[string]nativevm.LibFunc{}
+	addStdio(t, checked)
+	addString(t, checked)
+	addStdlib(t, checked)
+	addCtype(t)
+	addMath(t)
+	return t
+}
+
+// mem is a small access helper carrying the checking policy.
+type mem struct {
+	m       *nativevm.Machine
+	checked bool
+}
+
+func (a mem) load(addr uint64, size int64) (int64, error) {
+	if a.checked && a.m.Checker() != nil {
+		if rep := a.m.Checker().Load(addr, size); rep != nil {
+			return 0, rep
+		}
+	}
+	v, f := a.m.Mem.Load(addr, size)
+	if f != nil {
+		return 0, f
+	}
+	return int64(v), nil
+}
+
+func (a mem) store(addr uint64, size int64, v int64) error {
+	if a.checked && a.m.Checker() != nil {
+		if rep := a.m.Checker().Store(addr, size); rep != nil {
+			return rep
+		}
+	}
+	if f := a.m.Mem.Store(addr, size, uint64(v)); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (a mem) loadByte(addr uint64) (byte, error) {
+	v, err := a.load(addr, 1)
+	return byte(v), err
+}
+
+func (a mem) storeByte(addr uint64, b byte) error { return a.store(addr, 1, int64(b)) }
+
+// wordStrlen is the performance-optimized strlen: it reads 8 bytes at a
+// time, deliberately unchecked (Valgrind suppresses these loops; ASan never
+// sees them). It can read past the terminator within the final word, and
+// past the end of an unterminated buffer until it happens to hit a zero
+// byte or an unmapped page.
+func wordStrlen(m *nativevm.Machine, addr uint64) (int64, error) {
+	n := int64(0)
+	for {
+		w, f := m.Mem.Load(addr+uint64(n), 8)
+		if f != nil {
+			// Fall back to byte loads near a page boundary, like real
+			// implementations that align first.
+			for {
+				b, f2 := m.Mem.LoadByte(addr + uint64(n))
+				if f2 != nil {
+					return 0, f2
+				}
+				if b == 0 {
+					return n, nil
+				}
+				n++
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if byte(w>>(8*uint(i))) == 0 {
+				return n + int64(i), nil
+			}
+		}
+		n += 8
+	}
+}
+
+// vaReader walks a variadic area: 8-byte slots read straight from the
+// stack. Reading more slots than were passed just keeps walking the stack —
+// no count exists at the machine level.
+type vaReader struct {
+	m    *nativevm.Machine
+	addr uint64
+}
+
+func (v *vaReader) nextInt() int64 {
+	raw, _ := v.m.Mem.Load(v.addr, 8)
+	v.addr += 8
+	return int64(raw)
+}
+
+func (v *vaReader) nextFloat() float64 {
+	raw, _ := v.m.Mem.Load(v.addr, 8)
+	v.addr += 8
+	return math.Float64frombits(raw)
+}
+
+func exitErr(code int) error { return &core.ExitError{Code: code} }

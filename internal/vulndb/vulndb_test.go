@@ -1,0 +1,125 @@
+package vulndb
+
+import "testing"
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateCVE(1802)
+	b := GenerateCVE(1802)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestStudyWindow(t *testing.T) {
+	for _, rec := range GenerateCVE(7) {
+		if rec.Year < 2012 || rec.Year > 2017 {
+			t.Fatalf("year %d outside window", rec.Year)
+		}
+		if rec.Year == 2012 && rec.Month < 3 {
+			t.Fatalf("record before 2012-03")
+		}
+		if rec.Year == 2017 && rec.Month > 9 {
+			t.Fatalf("record after 2017-09")
+		}
+	}
+}
+
+func TestClassifierKeywords(t *testing.T) {
+	cases := []struct {
+		desc string
+		want Category
+	}{
+		{"Stack-based buffer overflow in the png parser", Spatial},
+		{"heap-based BUFFER OVERFLOW in libfoo", Spatial},
+		{"Out-of-bounds read in bar", Spatial},
+		{"use-after-free vulnerability in the renderer", Temporal},
+		{"Use After Free in the timer", Temporal},
+		{"dangling pointer in session teardown", Temporal},
+		{"NULL pointer dereference in the daemon", NullDeref},
+		{"double free vulnerability in the allocator", Other},
+		{"format string vulnerability in the logger", Other},
+		{"SQL injection in the admin module", Unclassified},
+		{"cross-site scripting in the wiki", Unclassified},
+	}
+	for _, c := range cases {
+		if got := Classify(c.desc); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.desc, got, c.want)
+		}
+	}
+}
+
+func TestClassifierMatchesGroundTruth(t *testing.T) {
+	correct, total := ClassifierAccuracy(GenerateCVE(1802))
+	if correct != total {
+		t.Errorf("classifier accuracy %d/%d; generated phrasing should be unambiguous", correct, total)
+	}
+}
+
+func TestFigureShapes(t *testing.T) {
+	series := Aggregate(GenerateCVE(1802))
+	byCat := map[Category]map[int]int{}
+	for _, s := range series {
+		byCat[s.Category] = s.ByYear
+	}
+	// The paper's claims: spatial is the most common category every year
+	// and peaks in 2017 (all-time high); temporal rises monotonically-ish;
+	// NULL is third and declining.
+	for y := 2012; y <= 2017; y++ {
+		if byCat[Spatial][y] <= byCat[Temporal][y] || byCat[Spatial][y] <= byCat[NullDeref][y] {
+			t.Errorf("year %d: spatial should dominate (%d/%d/%d)",
+				y, byCat[Spatial][y], byCat[Temporal][y], byCat[NullDeref][y])
+		}
+	}
+	if PeakYear(series, Spatial) != 2017 {
+		t.Errorf("spatial peak = %d, want 2017", PeakYear(series, Spatial))
+	}
+	if byCat[Temporal][2017] <= byCat[Temporal][2012] {
+		t.Error("temporal errors should rise over the window")
+	}
+	if byCat[NullDeref][2017] >= byCat[NullDeref][2012] {
+		t.Error("NULL dereferences should decline over the window")
+	}
+}
+
+func TestExploitTrackVulnerabilities(t *testing.T) {
+	vulns := Aggregate(GenerateCVE(1802))
+	exploits := Aggregate(GenerateExploitDB(1803))
+	vIdx := map[Category]map[int]int{}
+	for _, s := range vulns {
+		vIdx[s.Category] = s.ByYear
+	}
+	for _, s := range exploits {
+		for y, n := range s.ByYear {
+			if n > vIdx[s.Category][y] {
+				t.Errorf("%v %d: more exploits (%d) than vulnerabilities (%d)", s.Category, y, n, vIdx[s.Category][y])
+			}
+		}
+	}
+}
+
+func TestRenderContainsYearsAndCategories(t *testing.T) {
+	out := Render("Figure 1", Aggregate(GenerateCVE(1802)))
+	for _, want := range []string{"2012", "2017", "spatial", "temporal", "null-deref", "other"} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

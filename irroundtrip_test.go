@@ -1,0 +1,49 @@
+package sulong_test
+
+import (
+	"testing"
+
+	sulong "repro"
+	"repro/internal/benchprog"
+	"repro/internal/ir"
+)
+
+// TestIRRoundTripOnRealModules prints and re-parses the full compiled module
+// (program + interpreted libc) of every benchmark, then runs the re-parsed
+// module and compares observable behaviour — exercising the textual IR
+// format over tens of thousands of real instructions.
+func TestIRRoundTripOnRealModules(t *testing.T) {
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			mod, err := sulong.CompileOnly(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text1 := ir.Print(mod)
+			mod2, err := ir.Parse(text1)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if err := ir.Verify(mod2); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			text2 := ir.Print(mod2)
+			if text1 != text2 {
+				t.Fatal("print/parse/print not a fixpoint")
+			}
+			cfg := sulong.Config{Engine: sulong.EngineSafeSulong, Args: []string{b.SmallArg}}
+			want, err := sulong.RunModule(mod, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sulong.RunModule(mod2, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stdout != want.Stdout || got.ExitCode != want.ExitCode {
+				t.Errorf("behaviour diverged after round trip")
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package sulong_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+func TestDetectionMatrixShape(t *testing.T) {
+	m := harness.RunDetectionMatrix()
+	t.Log("\n" + m.Render())
+	for name, row := range m.Cells {
+		for tool, cell := range row {
+			if cell.RunError != "" {
+				t.Errorf("%s under %v: run error: %s", name, tool, cell.RunError)
+			}
+		}
+	}
+	if got := m.Totals[harness.SafeSulong]; got != 68 {
+		t.Errorf("SafeSulong detected %d, want 68", got)
+		for _, c := range m.Cases {
+			cell := m.Cells[c.Name][harness.SafeSulong]
+			if !cell.Detected {
+				t.Logf("  MISSED: %s (%s)", c.Name, cell.Report)
+			}
+		}
+	}
+	if got := m.Totals[harness.ASanO0]; got != 60 {
+		t.Errorf("ASan -O0 detected %d, want 60", got)
+	}
+	if got := m.Totals[harness.ASanO3]; got != 56 {
+		t.Errorf("ASan -O3 detected %d, want 56", got)
+	}
+	if len(m.MissedByBoth()) != 8 {
+		t.Errorf("missed-by-both = %d, want 8: %v", len(m.MissedByBoth()), m.MissedByBoth())
+	}
+}
+
+// TestFixedVersionsRunClean checks the bundled bug fixes: every repaired
+// program must run with no report under Safe Sulong AND still produce no
+// report under the baseline tools (a fix, not a workaround).
+func TestFixedVersionsRunClean(t *testing.T) {
+	n := 0
+	for _, c := range corpus.All() {
+		if c.Fixed == "" {
+			continue
+		}
+		n++
+		fixed := c
+		fixed.Source = c.Fixed
+		for _, tool := range []harness.Tool{harness.SafeSulong, harness.ASanO0, harness.ValgrindO0} {
+			cell := harness.RunCase(fixed, tool)
+			if cell.RunError != "" {
+				t.Errorf("%s (fixed) under %v: %s", c.Name, tool, cell.RunError)
+				continue
+			}
+			if cell.Detected || cell.Crashed {
+				t.Errorf("%s (fixed) under %v still reports: %s", c.Name, tool, cell.Report)
+			}
+		}
+	}
+	if n < 10 {
+		t.Errorf("expected at least 10 bundled fixes, have %d", n)
+	}
+}

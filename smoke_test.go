@@ -1,0 +1,337 @@
+package sulong
+
+import "testing"
+
+func TestSmokeHello(t *testing.T) {
+	res, err := Run(`
+#include <stdio.h>
+int main(void) {
+    printf("Hello, %s! %d %05d %.3f %c %x\n", "World", 42, 7, 3.14159, 'A', 255);
+    return 0;
+}
+`, Config{Engine: EngineSafeSulong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exit=%d stdout=%q bug=%v", res.ExitCode, res.Stdout, res.Bug)
+	want := "Hello, World! 42 00007 3.142 A ff\n"
+	if res.Stdout != want {
+		t.Errorf("got %q want %q", res.Stdout, want)
+	}
+}
+
+func TestSmokeBugs(t *testing.T) {
+	cases := []struct{ name, src, wantKind string }{
+		{"stack-oob", `int main(void){ int a[10]; int i; for(i=0;i<=10;i++) a[i]=i; return a[0]; }`, "out-of-bounds access"},
+		{"heap-uaf", `#include <stdlib.h>
+int main(void){ int *p = malloc(4); *p = 1; free(p); return *p; }`, "use after free"},
+		{"double-free", `#include <stdlib.h>
+int main(void){ int *p = malloc(4); free(p); free(p); return 0; }`, "double free"},
+		{"invalid-free", `#include <stdlib.h>
+int main(void){ int x; free(&x); return 0; }`, "invalid free"},
+		{"null-deref", `int main(void){ int *p = 0; return *p; }`, "NULL pointer dereference"},
+		{"argv-oob", `#include <stdio.h>
+int main(int argc, char **argv){ printf("%d %s\n", argc, argv[5]); return 0; }`, "out-of-bounds access"},
+		{"vararg-width", `#include <stdio.h>
+int counter = 7;
+int main(void){ printf("counter: %ld\n", counter); return 0; }`, "out-of-bounds access"},
+		{"missing-vararg", `#include <stdio.h>
+int main(void){ printf("%d %d\n", 1); return 0; }`, "out-of-bounds access"},
+		{"strtok-unterminated", `#include <string.h>
+#include <stdio.h>
+char buf[32] = "a\nb";
+int main(void){ const char t[1] = {'\n'}; char *tok = strtok(buf, t); puts(tok); return 0; }`, "out-of-bounds access"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.src, Config{Engine: EngineSafeSulong})
+			if err != nil {
+				t.Fatalf("run error: %v", err)
+			}
+			if res.Bug == nil {
+				t.Fatalf("no bug detected; stdout=%q exit=%d", res.Stdout, res.ExitCode)
+			}
+			if got := res.Bug.Kind.String(); got != tc.wantKind {
+				t.Errorf("bug kind = %q (%v), want %q", got, res.Bug, tc.wantKind)
+			} else {
+				t.Logf("detected: %v", res.Bug)
+			}
+		})
+	}
+}
+
+func TestSmokeCompute(t *testing.T) {
+	res, err := Run(`
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+struct point { int x; int y; };
+int sq(int v){ return v*v; }
+int main(void) {
+    char buf[64];
+    struct point p;
+    int (*f)(int) = sq;
+    int vals[5] = {5, 3, 1, 4, 2};
+    double d = 2.0;
+    p.x = 3; p.y = 4;
+    sprintf(buf, "%d-%d", p.x, p.y);
+    printf("%s len=%d sq=%d d2=%.1f\n", buf, (int)strlen(buf), f(5), d*d);
+    {
+        int i; long sum = 0;
+        for (i = 0; i < 5; i++) sum += vals[i];
+        printf("sum=%ld\n", sum);
+    }
+    return 0;
+}
+`, Config{Engine: EngineSafeSulong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Fatalf("unexpected bug: %v", res.Bug)
+	}
+	want := "3-4 len=3 sq=25 d2=4.0\nsum=15\n"
+	if res.Stdout != want {
+		t.Errorf("got %q want %q", res.Stdout, want)
+	}
+}
+
+func TestSmokeNativeEngines(t *testing.T) {
+	src := `
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+    char buf[32];
+    int *p = malloc(3 * sizeof(int));
+    p[0] = 10; p[1] = 20; p[2] = 12;
+    sprintf(buf, "%d", p[0]+p[1]+p[2]);
+    printf("sum=%s len=%d\n", buf, (int)strlen(buf));
+    free(p);
+    return 0;
+}
+`
+	for _, eng := range []Engine{EngineNative, EngineASan, EngineMemcheck} {
+		for _, lvl := range []int{0, 3} {
+			res, err := Run(src, Config{Engine: eng, OptLevel: lvl})
+			if err != nil {
+				t.Fatalf("%v -O%d: %v", eng, lvl, err)
+			}
+			if res.Bug != nil || res.Fault != nil {
+				t.Fatalf("%v -O%d: unexpected bug=%v fault=%v", eng, lvl, res.Bug, res.Fault)
+			}
+			if res.Stdout != "sum=42 len=2\n" {
+				t.Errorf("%v -O%d: stdout = %q", eng, lvl, res.Stdout)
+			}
+		}
+	}
+}
+
+func TestSmokeToolDifferences(t *testing.T) {
+	heapOOB := `
+#include <stdlib.h>
+int main(void) { int *p = malloc(4*sizeof(int)); p[4] = 1; int r = p[0]; free(p); return r; }`
+	stackOOB := `
+int main(void) { int a[4]; int i; for (i=0; i<=4; i++) a[i]=i; return a[0]; }`
+
+	// Heap OOB just past the block: ASan and memcheck catch it, native does not.
+	for _, eng := range []Engine{EngineASan, EngineMemcheck} {
+		res, err := Run(heapOOB, Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bug == nil || res.Bug.Kind != 0 /* OutOfBounds */ {
+			t.Errorf("%v: heap OOB not detected (bug=%v fault=%v)", eng, res.Bug, res.Fault)
+		}
+	}
+	res, err := Run(heapOOB, Config{Engine: EngineNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil || res.Fault != nil {
+		t.Errorf("native: heap OOB should be silent, got bug=%v fault=%v", res.Bug, res.Fault)
+	}
+
+	// Stack OOB: ASan catches (redzone); memcheck misses (stack is addressable).
+	res, err = Run(stackOOB, Config{Engine: EngineASan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Errorf("asan: stack OOB not detected")
+	}
+	res, err = Run(stackOOB, Config{Engine: EngineMemcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Errorf("memcheck: stack OOB unexpectedly detected: %v", res.Bug)
+	}
+
+	// Fig. 3: an OOB store to an array that is never read. At -O3 the
+	// stores (and the whole loop) are deleted, so ASan finds nothing; at
+	// -O0 ASan still sees the store and reports it.
+	fig3 := `
+int test(int length) {
+    int arr[10];
+    int i;
+    for (i = 0; i < length; i++) arr[i] = i;
+    return 0;
+}
+int main(void) { return test(20); }`
+	res, err = Run(fig3, Config{Engine: EngineASan, OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Errorf("asan -O0: Fig. 3 store should be visible")
+	}
+	res, err = Run(fig3, Config{Engine: EngineASan, OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Errorf("asan -O3: bug should be optimized away, got %v", res.Bug)
+	}
+	// Safe Sulong interprets unoptimized IR: always caught.
+	res, err = Run(fig3, Config{Engine: EngineSafeSulong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Errorf("safe sulong: Fig. 3 bug not detected")
+	}
+
+	// argv OOB: missed by all native tools, caught by Safe Sulong.
+	argvOOB := `
+#include <stdio.h>
+int main(int argc, char **argv) { printf("%d %s\n", argc, argv[5]); return 0; }`
+	for _, eng := range []Engine{EngineNative, EngineASan, EngineMemcheck} {
+		res, err := Run(argvOOB, Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bug != nil {
+			t.Errorf("%v: argv OOB should be missed, got %v", eng, res.Bug)
+		}
+	}
+}
+
+func TestSmokeJIT(t *testing.T) {
+	src := `
+#include <stdio.h>
+long fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) {
+    int i;
+    long total = 0;
+    for (i = 0; i < 18; i++) total += fib(i);
+    printf("total=%ld\n", total);
+    return 0;
+}
+`
+	var compiled []string
+	res, err := Run(src, Config{Engine: EngineSafeSulong, JIT: true, JITThreshold: 10,
+		OnCompile: func(name string) { compiled = append(compiled, name) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Fatalf("bug: %v", res.Bug)
+	}
+	if res.Stdout != "total=4180\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if len(compiled) == 0 {
+		t.Error("no functions were tier-1 compiled")
+	}
+	t.Logf("compiled: %v, stats: %+v", compiled, res.Stats)
+
+	// Bugs must still be detected in compiled code.
+	buggy := `
+int f(int i) { int a[8]; return a[i]; }
+int main(void) { int i, s = 0; for (i = 0; i < 2000; i++) s += f(i % 9); return s; }
+`
+	res, err = Run(buggy, Config{Engine: EngineSafeSulong, JIT: true, JITThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Fatal("JIT-compiled code missed the out-of-bounds access")
+	}
+	t.Logf("jit bug: %v", res.Bug)
+}
+
+// TestUseAfterReturnDetection exercises the managed engine's
+// use-after-return extension (off by default, like the historical ASan
+// feature the paper's §2.2 mentions).
+func TestUseAfterReturnDetection(t *testing.T) {
+	src := `
+int *escape(void) {
+    int local = 42;
+    return &local;
+}
+int main(void) {
+    int *p = escape();
+    return *p;
+}`
+	// Default: the managed model keeps the object alive (GC semantics, as
+	// in the paper), so no error fires.
+	res, err := Run(src, Config{Engine: EngineSafeSulong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Fatalf("default config should tolerate escaped locals: %v", res.Bug)
+	}
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+	// With the option on, the access is reported.
+	res, err = Run(src, Config{Engine: EngineSafeSulong, DetectUseAfterReturn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Fatal("use-after-return not detected")
+	}
+	t.Logf("detected: %v", res.Bug)
+	// And under the JIT as well.
+	jsrc := `
+int *escape(void) { int local = 7; return &local; }
+int main(void) {
+    int i, s = 0;
+    for (i = 0; i < 100; i++) { int *p = escape(); if (i == 99) s = *p; }
+    return s;
+}`
+	res, err = Run(jsrc, Config{Engine: EngineSafeSulong, DetectUseAfterReturn: true, JIT: true, JITThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Fatal("use-after-return not detected in compiled code")
+	}
+}
+
+func TestGetenvBothEngines(t *testing.T) {
+	src := `
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    char *home = getenv("HOME");
+    char *ghost = getenv("NOPE");
+    printf("%s %d\n", home ? home : "(null)", ghost == NULL);
+    return 0;
+}`
+	for _, eng := range []Engine{EngineSafeSulong, EngineNative} {
+		res, err := Run(src, Config{Engine: eng, Env: []string{"HOME=/home/user", "PATH=/bin"}})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if res.Bug != nil || res.Fault != nil {
+			t.Fatalf("%v: %v %v", eng, res.Bug, res.Fault)
+		}
+		if res.Stdout != "/home/user 1\n" {
+			t.Errorf("%v: stdout = %q", eng, res.Stdout)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package sulong is the public API of this repository: a reproduction of
+// "Sulong, and Thanks For All the Bugs" (ASPLOS 2018). It compiles C
+// programs to SIR (an LLVM-IR-like representation) and executes them under
+// one of several engines:
+//
+//   - EngineSafeSulong — the paper's contribution: a managed interpreter
+//     with exact bounds/NULL/free/vararg checking (internal/core) and an
+//     optional tier-1 dynamic compiler (internal/jit).
+//   - EngineNative — a simulated native machine (flat memory, no checks),
+//     standing in for binaries produced by Clang -O0/-O3.
+//   - EngineASan — the native machine instrumented with shadow memory and
+//     redzones, modeling LLVM's AddressSanitizer.
+//   - EngineMemcheck — the native machine under binary instrumentation with
+//     A/V-bit shadow state, modeling Valgrind's memcheck.
+//
+// Typical use:
+//
+//	res, err := sulong.Run(src, sulong.Config{Engine: sulong.EngineSafeSulong})
+//	if res.Bug != nil { fmt.Println(res.Bug) }
+package sulong
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/jit"
+	"repro/internal/libc"
+)
+
+// Engine selects an execution engine.
+type Engine int
+
+const (
+	// EngineSafeSulong is the managed, exactly-checked engine (the paper's
+	// tool), running IR produced without optimization.
+	EngineSafeSulong Engine = iota
+	// EngineNative simulates an uninstrumented native binary.
+	EngineNative
+	// EngineASan simulates a Clang+AddressSanitizer build.
+	EngineASan
+	// EngineMemcheck simulates running the native binary under Valgrind.
+	EngineMemcheck
+)
+
+var engineNames = [...]string{
+	EngineSafeSulong: "SafeSulong",
+	EngineNative:     "Native",
+	EngineASan:       "ASan",
+	EngineMemcheck:   "Memcheck",
+}
+
+func (e Engine) String() string { return engineNames[e] }
+
+// Config configures compilation and execution.
+type Config struct {
+	Engine Engine
+	// OptLevel is the optimization level of the *native-side* compile
+	// pipeline (0 or 3). Safe Sulong always executes unoptimized IR
+	// (paper §3.1: Clang is run without optimizations).
+	OptLevel int
+
+	Args  []string
+	Env   []string
+	Stdin io.Reader
+	// Stdout receives program output; when nil it is captured in Result.
+	Stdout io.Writer
+
+	// JIT enables Safe Sulong's tier-1 dynamic compiler.
+	JIT bool
+	// JITThreshold overrides the default compile-after-N-calls policy.
+	JITThreshold int64
+	// OnCompile observes tier-1 compilation events (Fig. 15).
+	OnCompile func(name string)
+
+	// MaxSteps bounds execution (0 = engine default).
+	MaxSteps int64
+	// DetectLeaks turns on leak reporting at exit (managed engine only).
+	DetectLeaks bool
+	// DetectUseAfterReturn reports accesses to stack objects of functions
+	// that already returned (managed engine only).
+	DetectUseAfterReturn bool
+
+	// ExtraFiles adds include-able files to the compilation.
+	ExtraFiles map[string]string
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	ExitCode int
+	Stdout   string
+	// Bug is the first detected memory error, if any. Only engines that
+	// check (SafeSulong, ASan, Memcheck) report bugs; the native engine
+	// reports Fault instead when the simulated machine traps.
+	Bug *core.BugError
+	// Fault is a native machine trap (SIGSEGV-like), when one occurred.
+	Fault error
+	// Leaks lists unfreed heap allocations (managed engine, DetectLeaks).
+	Leaks []*core.BugError
+	// Stats carries engine counters (managed engine).
+	Stats core.Stats
+}
+
+// CompileOnly compiles a C program (user source plus the bundled libc) to an
+// unoptimized SIR module, as the managed engine consumes it.
+func CompileOnly(src string) (*ir.Module, error) {
+	files := libc.Files()
+	files["user.c"] = src
+	files["__program.c"] = libc.WrapProgram("user.c")
+	return cc.Compile("__program.c", files, cc.Options{})
+}
+
+// CompileBare compiles a C program without linking the bundled libc sources
+// (headers remain available). This is the native toolchain's view: libc is
+// precompiled, only prototypes are seen at compile time.
+func CompileBare(src string) (*ir.Module, error) {
+	files := libc.Files()
+	files["user.c"] = src
+	return cc.Compile("user.c", files, cc.Options{})
+}
+
+// Run compiles and executes a C program under the configured engine.
+//
+// The compilation pipeline differs per engine exactly as in the paper:
+// Safe Sulong interprets unoptimized IR of the program *plus* the safe libc
+// written in C; the native family compiles only the user program (their
+// libc is precompiled) and runs it through the optimizer at cfg.OptLevel.
+func Run(src string, cfg Config) (Result, error) {
+	mod, err := CompileFor(src, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunModule(mod, cfg)
+}
+
+// CompileFor compiles src the way cfg.Engine's toolchain would.
+func CompileFor(src string, cfg Config) (*ir.Module, error) {
+	if cfg.Engine == EngineSafeSulong {
+		files := libc.Files()
+		for k, v := range cfg.ExtraFiles {
+			files[k] = v
+		}
+		files["user.c"] = src
+		files["__program.c"] = libc.WrapProgram("user.c")
+		return cc.Compile("__program.c", files, cc.Options{})
+	}
+	files := libc.Files() // headers only matter; sources are not linked
+	for k, v := range cfg.ExtraFiles {
+		files[k] = v
+	}
+	files["user.c"] = src
+	mod, err := cc.Compile("user.c", files, cc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	applyNativeOpt(mod, cfg.OptLevel)
+	return mod, nil
+}
+
+// RunModule executes an already-compiled module under the configured engine.
+func RunModule(mod *ir.Module, cfg Config) (Result, error) {
+	switch cfg.Engine {
+	case EngineSafeSulong:
+		return runManaged(mod, cfg)
+	case EngineNative, EngineASan, EngineMemcheck:
+		return runNativeFamily(mod, cfg)
+	}
+	return Result{}, fmt.Errorf("sulong: unknown engine %d", cfg.Engine)
+}
+
+func runManaged(mod *ir.Module, cfg Config) (Result, error) {
+	ecfg := core.Config{
+		Args:                 cfg.Args,
+		Env:                  cfg.Env,
+		Stdin:                cfg.Stdin,
+		Stdout:               cfg.Stdout,
+		MaxSteps:             cfg.MaxSteps,
+		DetectLeaks:          cfg.DetectLeaks,
+		DetectUseAfterReturn: cfg.DetectUseAfterReturn,
+		OnCompile:            cfg.OnCompile,
+	}
+	if cfg.JIT {
+		ecfg.Tier1 = jit.New()
+		ecfg.Tier1Threshold = cfg.JITThreshold
+	}
+	eng, err := core.NewEngine(mod, ecfg)
+	if err != nil {
+		return Result{}, err
+	}
+	code, err := eng.Run()
+	res := Result{ExitCode: code, Stdout: eng.Output(), Stats: eng.Stats()}
+	if cfg.DetectLeaks {
+		res.Leaks = eng.Leaks()
+	}
+	if err != nil {
+		var bug *core.BugError
+		if asBug(err, &bug) {
+			res.Bug = bug
+			return res, nil
+		}
+		return res, err
+	}
+	return res, nil
+}
+
+func asBug(err error, out **core.BugError) bool {
+	for err != nil {
+		if be, ok := err.(*core.BugError); ok {
+			*out = be
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
