@@ -1,0 +1,34 @@
+# Tier-1 gate: everything a change must pass before it lands.
+# `make check` == `make fmt vet build test race`.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench clean
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suite (shared-module audit, parallel matrix, cache
+# coalescing) must stay race-clean.
+race:
+	$(GO) test -race -run 'Concurrent|Parallel|Matrix|Cache|ForEach' ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -3,27 +3,62 @@
 // the bare native machine, then prints Tables 1 and 2, the tool comparison,
 // and the list of bugs only Safe Sulong finds.
 //
+// The corpus×tool matrix fans out across a worker pool (one worker per CPU
+// by default); every translation unit is compiled once through the staged
+// pipeline's content-addressed module cache and shared by all workers.
+// Results are deterministic: any -parallel value produces byte-identical
+// output.
+//
 // Usage:
 //
 //	bugbench                 # full detection matrix
+//	bugbench -parallel 1     # force the serial driver
+//	bugbench -json out.json  # also emit a machine-readable report
 //	bugbench -casestudies    # only the Figs. 10-14 case studies
 //	bugbench -case NAME      # one corpus case, all tools, with reports
 //	bugbench -list           # corpus inventory with ground truth
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	sulong "repro"
 	"repro/internal/corpus"
 	"repro/internal/harness"
 )
+
+// matrixReport is the machine-readable form of a bugbench run.
+type matrixReport struct {
+	Cases       int               `json:"cases"`
+	Workers     int               `json:"workers"`
+	WallClockMs float64           `json:"wallClockMs"`
+	Totals      map[string]int    `json:"totals"`
+	MissedBoth  []string          `json:"foundOnlyBySafeSulong"`
+	Cache       sulongCacheReport `json:"cache"`
+}
+
+type sulongCacheReport struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+	Entries int     `json:"entries"`
+}
+
+func cacheReport() sulongCacheReport {
+	s := sulong.CacheStats()
+	return sulongCacheReport{Hits: s.Hits, Misses: s.Misses, HitRate: s.HitRate(), Entries: s.Entries}
+}
 
 func main() {
 	caseStudies := flag.Bool("casestudies", false, "run only the paper's case studies (Figs. 10-14)")
 	oneCase := flag.String("case", "", "run a single corpus case by name")
 	list := flag.Bool("list", false, "list corpus cases with ground truth")
+	parallel := flag.Int("parallel", 0, "matrix worker count (0 = one per CPU, 1 = serial)")
+	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
 	flag.Parse()
 
 	switch {
@@ -42,31 +77,56 @@ func main() {
 	case *caseStudies:
 		fmt.Print(harness.CaseStudies())
 	case *oneCase != "":
-		found := false
-		for _, c := range corpus.All() {
-			if c.Name != *oneCase {
-				continue
-			}
-			found = true
-			fmt.Printf("case %s (%s, %s %s, %s memory)\n\n%s\n\n",
-				c.Name, c.Category, c.Access, c.Direction, c.Mem, c.Source)
-			for _, tool := range harness.Tools() {
-				cell := harness.RunCase(c, tool)
-				status := "missed"
-				if cell.Detected {
-					status = "DETECTED"
-				} else if cell.Crashed {
-					status = "crashed"
-				}
-				fmt.Printf("  %-14s %-9s %s\n", tool, status, cell.Report)
-			}
-		}
-		if !found {
+		c, ok := corpus.Get(*oneCase)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "bugbench: no case %q (try -list)\n", *oneCase)
 			os.Exit(2)
 		}
+		fmt.Printf("case %s (%s, %s %s, %s memory)\n\n%s\n\n",
+			c.Name, c.Category, c.Access, c.Direction, c.Mem, c.Source)
+		for _, tool := range harness.Tools() {
+			cell := harness.RunCase(c, tool)
+			status := "missed"
+			if cell.Detected {
+				status = "DETECTED"
+			} else if cell.Crashed {
+				status = "crashed"
+			}
+			fmt.Printf("  %-14s %-9s %s\n", tool, status, cell.Report)
+		}
 	default:
-		m := harness.RunDetectionMatrix()
+		start := time.Now()
+		m := harness.RunDetectionMatrixWith(harness.MatrixOptions{Workers: *parallel})
+		elapsed := time.Since(start)
 		fmt.Print(m.Render())
+		stats := sulong.CacheStats()
+		fmt.Printf("\nmatrix wall clock %v (workers=%d), module cache %d hits / %d misses (%.0f%% hit rate)\n",
+			elapsed.Round(time.Millisecond), *parallel, stats.Hits, stats.Misses, 100*stats.HitRate())
+		if *jsonOut != "" {
+			rep := matrixReport{
+				Cases:       len(m.Cases),
+				Workers:     *parallel,
+				WallClockMs: float64(elapsed.Microseconds()) / 1000,
+				Totals:      map[string]int{},
+				MissedBoth:  m.MissedByBoth(),
+				Cache:       cacheReport(),
+			}
+			for _, tool := range harness.Tools() {
+				rep.Totals[tool.String()] = m.Totals[tool]
+			}
+			writeJSON(*jsonOut, rep)
+		}
+	}
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bugbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bugbench:", err)
+		os.Exit(1)
 	}
 }

@@ -1,5 +1,8 @@
 // Command perfbench reproduces the paper's performance evaluation:
-// §4.2 start-up and warm-up (Fig. 15) and §4.3 peak performance (Fig. 16).
+// §4.2 start-up and warm-up (Fig. 15) and §4.3 peak performance (Fig. 16),
+// plus pipeline-level measurements of this repository's own machinery: the
+// corpus-matrix wall clock under the parallel evaluation driver and the
+// content-addressed module cache's hit rate.
 //
 // Usage:
 //
@@ -7,34 +10,82 @@
 //	perfbench -warmup [-bench meteor]  # Fig. 15 iterations/s over time
 //	perfbench -peak [-bench all]       # Fig. 16 relative execution times
 //	perfbench -peak -warmups 50 -samples 10 -full   # paper-sized runs
+//	perfbench -matrix [-parallel N]    # corpus-matrix wall clock, serial vs parallel
+//	perfbench ... -json out.json       # machine-readable report (cache stats included)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	sulong "repro"
 	"repro/internal/benchprog"
 	"repro/internal/harness"
 )
+
+// report is the machine-readable output of a perfbench invocation. Every
+// section is optional (filled only when the matching mode ran); the cache
+// section is always present.
+type report struct {
+	Startup []startupEntry `json:"startup,omitempty"`
+	Peak    []peakEntry    `json:"peak,omitempty"`
+	Matrix  *matrixEntry   `json:"matrix,omitempty"`
+	Cache   cacheEntry     `json:"cache"`
+}
+
+type startupEntry struct {
+	Tool   string  `json:"tool"`
+	TimeMs float64 `json:"timeMs"`
+}
+
+type peakEntry struct {
+	Bench    string             `json:"bench"`
+	TimesMs  map[string]float64 `json:"timesMs"`
+	Relative map[string]float64 `json:"relativeToClangO0"`
+}
+
+type matrixEntry struct {
+	Cases               int     `json:"cases"`
+	Workers             int     `json:"workers"`
+	SerialWallClockMs   float64 `json:"serialWallClockMs"`
+	ParallelWallClockMs float64 `json:"parallelWallClockMs"`
+	Speedup             float64 `json:"speedup"`
+}
+
+type cacheEntry struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+	Entries int     `json:"entries"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func main() {
 	startup := flag.Bool("startup", false, "measure start-up time (§4.2)")
 	warmup := flag.Bool("warmup", false, "measure warm-up behaviour (Fig. 15)")
 	peak := flag.Bool("peak", false, "measure peak performance (Fig. 16)")
+	matrix := flag.Bool("matrix", false, "measure corpus-matrix wall clock, serial vs parallel")
 	benchName := flag.String("bench", "", "benchmark name (default: meteor for -warmup, all for -peak)")
 	warmups := flag.Int("warmups", 10, "in-process warm-up iterations before sampling")
 	samples := flag.Int("samples", 5, "timed iterations per configuration")
 	seconds := flag.Float64("seconds", 10, "wall-clock duration of the warm-up experiment")
 	full := flag.Bool("full", false, "use the paper-sized workloads (slower)")
+	parallel := flag.Int("parallel", 0, "matrix worker count (0 = one per CPU)")
+	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
 	flag.Parse()
 
-	if !*startup && !*warmup && !*peak {
-		fmt.Fprintln(os.Stderr, "usage: perfbench -startup | -warmup | -peak [flags]")
+	if !*startup && !*warmup && !*peak && !*matrix {
+		fmt.Fprintln(os.Stderr, "usage: perfbench -startup | -warmup | -peak | -matrix [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+
+	var rep report
 
 	if *startup {
 		results, err := harness.MeasureStartup(10)
@@ -42,6 +93,7 @@ func main() {
 		fmt.Println("Start-up time, hello world (average of 10 runs):")
 		for _, r := range results {
 			fmt.Printf("  %-14v %v\n", r.Tool, r.Time)
+			rep.Startup = append(rep.Startup, startupEntry{Tool: r.Tool.String(), TimeMs: ms(r.Time)})
 		}
 	}
 
@@ -100,6 +152,58 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(harness.RenderPeak(rows, harness.PerfConfigs()))
+		for _, row := range rows {
+			pe := peakEntry{Bench: row.Bench, TimesMs: map[string]float64{}, Relative: map[string]float64{}}
+			for _, cfg := range harness.PerfConfigs() {
+				pe.TimesMs[cfg.String()] = ms(row.Times[cfg])
+				pe.Relative[cfg.String()] = row.Relative(cfg)
+			}
+			rep.Peak = append(rep.Peak, pe)
+		}
+	}
+
+	if *matrix {
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		// Warm the module cache off the clock, then time the matrix serial
+		// vs parallel: with compilation amortized, the remaining cost is
+		// execution, which scales with the worker count.
+		fmt.Printf("Corpus-matrix wall clock (cache warm, %d cases x %d tools):\n",
+			len(harness.RunDetectionMatrix().Cases), len(harness.Tools()))
+		t0 := time.Now()
+		serial := harness.RunDetectionMatrixWith(harness.MatrixOptions{Workers: 1})
+		serialDur := time.Since(t0)
+		t0 = time.Now()
+		par := harness.RunDetectionMatrixWith(harness.MatrixOptions{Workers: workers})
+		parDur := time.Since(t0)
+		if serial.Render() != par.Render() {
+			fmt.Fprintln(os.Stderr, "perfbench: serial and parallel matrices disagree")
+			os.Exit(1)
+		}
+		speedup := float64(serialDur) / float64(parDur)
+		fmt.Printf("  serial   (1 worker)   %v\n", serialDur.Round(time.Millisecond))
+		fmt.Printf("  parallel (%d workers) %v  (%.2fx)\n", workers, parDur.Round(time.Millisecond), speedup)
+		rep.Matrix = &matrixEntry{
+			Cases:               len(par.Cases),
+			Workers:             workers,
+			SerialWallClockMs:   ms(serialDur),
+			ParallelWallClockMs: ms(parDur),
+			Speedup:             speedup,
+		}
+	}
+
+	stats := sulong.CacheStats()
+	rep.Cache = cacheEntry{Hits: stats.Hits, Misses: stats.Misses, HitRate: stats.HitRate(), Entries: stats.Entries}
+	fmt.Printf("\nmodule cache: %d hits / %d misses (%.0f%% hit rate), %d entries\n",
+		stats.Hits, stats.Misses, 100*stats.HitRate(), stats.Entries)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+		fmt.Printf("report written to %s\n", *jsonOut)
 	}
 }
 

@@ -10,28 +10,23 @@ import (
 	"repro/internal/nativemem"
 	"repro/internal/nativevm"
 	"repro/internal/nlibc"
-	"repro/internal/opt"
+	"repro/internal/pipeline"
 )
 
 // CompileNative compiles a C program the way the native toolchain does: the
 // user source only (libc is the "precompiled" nlibc), run through the
 // optimizer at the requested level. Level 0 still applies the backend
 // constant-global fold the paper caught Clang doing at -O0 (Fig. 13).
+// The result comes from the content-addressed cache and is shared; treat it
+// as immutable.
 func CompileNative(src string, optLevel int) (*ir.Module, error) {
-	mod, err := CompileBare(src)
+	res, err := pipeline.Compile(pipeline.Request{
+		Source: src, Flavor: pipeline.FlavorNative, OptLevel: optLevel,
+	})
 	if err != nil {
 		return nil, err
 	}
-	applyNativeOpt(mod, optLevel)
-	return mod, nil
-}
-
-func applyNativeOpt(mod *ir.Module, optLevel int) {
-	if optLevel >= 2 {
-		opt.RunO3(mod)
-	} else {
-		opt.RunO0(mod)
-	}
+	return res.Module, nil
 }
 
 // NativeConfig builds the machine configuration for a native-family engine:

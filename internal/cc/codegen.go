@@ -16,17 +16,40 @@ type Options struct {
 	Predefined map[string]string
 }
 
-// Compile preprocesses, parses, and lowers one C file to an SIR module.
-// files maps include names to contents and must contain mainFile.
-func Compile(mainFile string, files map[string]string, opts Options) (*ir.Module, error) {
+// Predefined returns the compiler's built-in macro table merged with extra
+// definitions. It is the macro environment Compile hands to Preprocess, and
+// staged drivers (internal/pipeline) use it to run the preprocessor stage
+// in isolation.
+func Predefined(extra map[string]string) map[string]string {
 	predef := map[string]string{
 		"__SULONG__": "1",
 		"NULL":       "((void*)0)",
 	}
-	for k, v := range opts.Predefined {
+	for k, v := range extra {
 		predef[k] = v
 	}
-	toks, err := Preprocess(mainFile, files, predef)
+	return predef
+}
+
+// Lower is the typecheck/codegen stage: it lowers a parsed Program to an
+// SIR module and collects its struct types, but does not verify the result
+// (ir.Verify is a separate pipeline stage).
+func Lower(prog *Program, mainFile string) (*ir.Module, error) {
+	cg := newCodegen(mainFile)
+	if err := cg.program(prog); err != nil {
+		return nil, err
+	}
+	collectStructs(cg.m)
+	return cg.m, nil
+}
+
+// Compile preprocesses, parses, and lowers one C file to an SIR module.
+// files maps include names to contents and must contain mainFile.
+//
+// It is the one-shot composition of the staged front end:
+// Preprocess → ParseProgram → Lower → ir.Verify.
+func Compile(mainFile string, files map[string]string, opts Options) (*ir.Module, error) {
+	toks, err := Preprocess(mainFile, files, Predefined(opts.Predefined))
 	if err != nil {
 		return nil, err
 	}
@@ -34,15 +57,14 @@ func Compile(mainFile string, files map[string]string, opts Options) (*ir.Module
 	if err != nil {
 		return nil, err
 	}
-	cg := newCodegen(mainFile)
-	if err := cg.program(prog); err != nil {
+	m, err := Lower(prog, mainFile)
+	if err != nil {
 		return nil, err
 	}
-	collectStructs(cg.m)
-	if err := ir.Verify(cg.m); err != nil {
+	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("cc: internal error: generated invalid IR: %w", err)
 	}
-	return cg.m, nil
+	return m, nil
 }
 
 // codegen lowers a Program to an ir.Module.

@@ -13,7 +13,10 @@
 // verbatim.
 package corpus
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Category is the paper's Table 1 bug classification.
 type Category int
@@ -94,8 +97,18 @@ type Case struct {
 	study string
 }
 
-// All returns the full 68-case corpus in a stable order.
-func All() []Case {
+// The corpus is immutable after construction, so it is built exactly once
+// per process; All() hands out defensive slice copies so that callers who
+// edit a Case in place (tests swapping in the fixed source) cannot alias
+// each other. The parallel evaluation driver in internal/harness calls
+// All() from many goroutines.
+var (
+	allOnce  sync.Once
+	allCases []Case
+	byName   map[string]int
+)
+
+func buildAll() {
 	var cases []Case
 	cases = append(cases, mainArgsCases()...) // 3
 	cases = append(cases, globalCases()...)   // 9
@@ -104,10 +117,28 @@ func All() []Case {
 	cases = append(cases, nullCases()...)     // 5
 	cases = append(cases, uafCase())          // 1
 	cases = append(cases, varargsCase())      // 1
+	byName = make(map[string]int, len(cases))
 	for i := range cases {
 		cases[i].Fixed = fixes[cases[i].Name]
+		byName[cases[i].Name] = i
 	}
-	return cases
+	allCases = cases
+}
+
+// All returns the full 68-case corpus in a stable order.
+func All() []Case {
+	allOnce.Do(buildAll)
+	return append([]Case(nil), allCases...)
+}
+
+// Get returns the named case. The second result reports whether it exists.
+func Get(name string) (Case, bool) {
+	allOnce.Do(buildAll)
+	i, ok := byName[name]
+	if !ok {
+		return Case{}, false
+	}
+	return allCases[i], true
 }
 
 // ---- main() argument vector: 3 cases, all missed natively (Fig. 10) ----

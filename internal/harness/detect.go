@@ -37,7 +37,12 @@ var toolNames = [...]string{
 	NativeO0:   "Native -O0",
 }
 
-func (t Tool) String() string { return toolNames[t] }
+func (t Tool) String() string {
+	if t < 0 || int(t) >= len(toolNames) {
+		return fmt.Sprintf("Tool(%d)", int(t))
+	}
+	return toolNames[t]
+}
 
 // Tools lists the matrix columns in display order.
 func Tools() []Tool {
@@ -108,26 +113,11 @@ func RunCase(c corpus.Case, tool Tool) Detection {
 	return d
 }
 
-// RunDetectionMatrix runs every corpus case under every tool.
+// RunDetectionMatrix runs every corpus case under every tool, fanned out
+// across GOMAXPROCS workers (see RunDetectionMatrixWith for control over
+// the pool size and the determinism guarantee).
 func RunDetectionMatrix() *MatrixResult {
-	cases := corpus.All()
-	m := &MatrixResult{
-		Cases:  cases,
-		Cells:  make(map[string]map[Tool]Detection, len(cases)),
-		Totals: map[Tool]int{},
-	}
-	for _, c := range cases {
-		row := map[Tool]Detection{}
-		for _, tool := range Tools() {
-			cell := RunCase(c, tool)
-			row[tool] = cell
-			if cell.Detected {
-				m.Totals[tool]++
-			}
-		}
-		m.Cells[c.Name] = row
-	}
-	return m
+	return RunDetectionMatrixWith(MatrixOptions{})
 }
 
 // Table1 aggregates detected bugs by paper category (Safe Sulong's column,

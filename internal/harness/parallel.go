@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corpus"
+)
+
+// ForEach fans fn out over n items on a bounded worker pool. workers <= 0
+// means one worker per available CPU (GOMAXPROCS); workers == 1 degrades to
+// a plain serial loop, guaranteeing identical side-effect ordering to the
+// historical drivers. fn receives the item index; result placement is the
+// caller's responsibility (index into a pre-sized slice for deterministic
+// assembly regardless of completion order).
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MatrixOptions configures the detection-matrix driver.
+type MatrixOptions struct {
+	// Workers bounds the goroutine pool. <= 0 uses GOMAXPROCS; 1 runs the
+	// matrix serially.
+	Workers int
+	// Cases restricts the corpus (nil = corpus.All()).
+	Cases []corpus.Case
+	// Tools restricts the matrix columns (nil = Tools()).
+	Tools []Tool
+	// Progress, when non-nil, is called after every completed cell with the
+	// running count. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// RunDetectionMatrixWith runs the corpus×tool evaluation matrix on a
+// bounded worker pool. Each (case, tool) cell is an independent job; cells
+// land in a pre-indexed grid, so the assembled MatrixResult — cells, totals
+// and rendering — is byte-identical for any worker count. Compilation of a
+// given translation unit happens once process-wide (the pipeline module
+// cache coalesces concurrent compiles), so the matrix cost is dominated by
+// execution and scales with the number of cores.
+func RunDetectionMatrixWith(opts MatrixOptions) *MatrixResult {
+	cases := opts.Cases
+	if cases == nil {
+		cases = corpus.All()
+	}
+	tools := opts.Tools
+	if tools == nil {
+		tools = Tools()
+	}
+	nt := len(tools)
+	total := len(cases) * nt
+	grid := make([]Detection, total)
+
+	var progressMu sync.Mutex
+	var done int
+	ForEach(total, opts.Workers, func(i int) {
+		c := cases[i/nt]
+		tool := tools[i%nt]
+		grid[i] = RunCase(c, tool)
+		if opts.Progress != nil {
+			progressMu.Lock()
+			done++
+			opts.Progress(done, total)
+			progressMu.Unlock()
+		}
+	})
+
+	m := &MatrixResult{
+		Cases:  cases,
+		Cells:  make(map[string]map[Tool]Detection, len(cases)),
+		Totals: map[Tool]int{},
+	}
+	for ci, c := range cases {
+		row := make(map[Tool]Detection, nt)
+		for ti, tool := range tools {
+			cell := grid[ci*nt+ti]
+			row[tool] = cell
+			if cell.Detected {
+				m.Totals[tool]++
+			}
+		}
+		m.Cells[c.Name] = row
+	}
+	return m
+}

@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+	// Zero items is a no-op.
+	ForEach(0, 4, func(i int) { t.Fatal("called for empty range") })
+}

@@ -191,21 +191,56 @@ func (m *Module) Reindex() {
 	}
 }
 
-// Clone returns a deep copy of the module's functions and shallow copies of
-// globals and types (which engines treat as immutable). The optimizer
-// mutates clones so one compile can serve several engine configurations.
+// Clone returns a deep copy of the module: functions (blocks, instructions,
+// operand/case slices), globals (including their initializer constants),
+// and the struct-name index. Types themselves (*StructType etc.) are shared
+// — they are laid out once by the front end and immutable afterwards.
+//
+// Clone exists so one front-end compile can serve several engine
+// configurations: the optimizer and the tier-1 JIT mutate clones, never the
+// cached original, which internal/pipeline shares across concurrent runs.
 func (m *Module) Clone() *Module {
 	out := NewModule(m.Name)
-	out.Structs = m.Structs
-	out.Globals = append([]*Global(nil), m.Globals...)
-	for i, g := range m.Globals {
-		out.globalIdx[g.Name] = i
-		_ = g
+	for name, st := range m.Structs {
+		out.Structs[name] = st
+	}
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Ty: g.Ty, Init: CloneConst(g.Init), IsConst: g.IsConst}
+		out.globalIdx[ng.Name] = len(out.Globals)
+		out.Globals = append(out.Globals, ng)
 	}
 	for _, f := range m.Funcs {
 		out.AddFunc(cloneFunc(f))
 	}
 	return out
+}
+
+// CloneConst deep-copies an initializer constant, including the slices
+// inside aggregate constants, so a clone's globals share no mutable state
+// with the original.
+func CloneConst(c Const) Const {
+	switch v := c.(type) {
+	case nil:
+		return nil
+	case ConstBytes:
+		return ConstBytes{Data: append([]byte(nil), v.Data...)}
+	case ConstArrayVal:
+		elems := make([]Const, len(v.Elems))
+		for i, e := range v.Elems {
+			elems[i] = CloneConst(e)
+		}
+		return ConstArrayVal{Ty: v.Ty, Elems: elems}
+	case ConstStructVal:
+		fields := make([]Const, len(v.Fields))
+		for i, e := range v.Fields {
+			fields[i] = CloneConst(e)
+		}
+		return ConstStructVal{Ty: v.Ty, Fields: fields}
+	default:
+		// Value types (ConstIntVal, ConstFloatVal, ConstZero, ConstGlobalRef,
+		// ConstFuncRef) carry no mutable state.
+		return c
+	}
 }
 
 func cloneFunc(f *Func) *Func {

@@ -11,10 +11,44 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 //go:embed src
 var srcFS embed.FS
+
+// The embed FS is immutable, so every accessor memoizes its answer: the
+// bundle is read exactly once per process no matter how many compilations
+// (or concurrent matrix workers) ask for it. Files() hands out defensive
+// copies because callers (sulong.CompileFor, internal/pipeline) insert the
+// user program into the returned map in place.
+var (
+	loadOnce    sync.Once
+	filesCache  map[string]string
+	headerCache []string
+
+	fnCountOnce sync.Once
+	fnCount     int
+)
+
+func load() {
+	entries, err := srcFS.ReadDir("src")
+	if err != nil {
+		panic("libc: embedded sources missing: " + err.Error())
+	}
+	filesCache = make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := srcFS.ReadFile("src/" + e.Name())
+		if err != nil {
+			panic("libc: reading embedded source: " + err.Error())
+		}
+		filesCache[e.Name()] = string(data)
+		if strings.HasSuffix(e.Name(), ".h") {
+			headerCache = append(headerCache, e.Name())
+		}
+	}
+	sort.Strings(headerCache)
+}
 
 // Sources returns the libc implementation files, in link order.
 func Sources() []string {
@@ -23,60 +57,46 @@ func Sources() []string {
 
 // Headers returns the header file names the preprocessor can include.
 func Headers() []string {
-	entries, err := srcFS.ReadDir("src")
-	if err != nil {
-		panic("libc: embedded sources missing: " + err.Error())
-	}
-	var out []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".h") {
-			out = append(out, e.Name())
-		}
-	}
-	sort.Strings(out)
-	return out
+	loadOnce.Do(load)
+	return append([]string(nil), headerCache...)
 }
 
 // Files returns include-name -> contents for every bundled header and
-// source, ready to merge into a cc.Compile file map.
+// source, ready to merge into a cc.Compile file map. The map is a fresh
+// copy on every call: callers may insert their own entries without
+// aliasing other compilations.
 func Files() map[string]string {
-	entries, err := srcFS.ReadDir("src")
-	if err != nil {
-		panic("libc: embedded sources missing: " + err.Error())
-	}
-	out := make(map[string]string, len(entries))
-	for _, e := range entries {
-		data, err := srcFS.ReadFile("src/" + e.Name())
-		if err != nil {
-			panic("libc: reading embedded source: " + err.Error())
-		}
-		out[e.Name()] = string(data)
+	loadOnce.Do(load)
+	out := make(map[string]string, len(filesCache)+4)
+	for k, v := range filesCache {
+		out[k] = v
 	}
 	return out
 }
 
 // FunctionCount reports how many public libc functions the bundle defines
 // (the paper reports 126 supported functions; this bundle is smaller but
-// covers the same program corpus).
+// covers the same program corpus). The scan runs once per process.
 func FunctionCount() int {
-	n := 0
-	for _, src := range Sources() {
-		data, _ := srcFS.ReadFile("src/" + src)
-		for _, line := range strings.Split(string(data), "\n") {
-			trimmed := strings.TrimSpace(line)
-			if trimmed == "" || strings.HasPrefix(trimmed, "/*") || strings.HasPrefix(trimmed, "*") ||
-				strings.HasPrefix(trimmed, "static") || strings.HasPrefix(trimmed, "#") {
-				continue
-			}
-			if strings.HasSuffix(trimmed, "{") && strings.Contains(trimmed, "(") &&
-				!strings.HasPrefix(trimmed, "}") && !strings.Contains(trimmed, "=") &&
-				!strings.HasPrefix(trimmed, "if") && !strings.HasPrefix(trimmed, "for") &&
-				!strings.HasPrefix(trimmed, "while") && !strings.HasPrefix(trimmed, "switch") {
-				n++
+	fnCountOnce.Do(func() {
+		loadOnce.Do(load)
+		for _, src := range Sources() {
+			for _, line := range strings.Split(filesCache[src], "\n") {
+				trimmed := strings.TrimSpace(line)
+				if trimmed == "" || strings.HasPrefix(trimmed, "/*") || strings.HasPrefix(trimmed, "*") ||
+					strings.HasPrefix(trimmed, "static") || strings.HasPrefix(trimmed, "#") {
+					continue
+				}
+				if strings.HasSuffix(trimmed, "{") && strings.Contains(trimmed, "(") &&
+					!strings.HasPrefix(trimmed, "}") && !strings.Contains(trimmed, "=") &&
+					!strings.HasPrefix(trimmed, "if") && !strings.HasPrefix(trimmed, "for") &&
+					!strings.HasPrefix(trimmed, "while") && !strings.HasPrefix(trimmed, "switch") {
+					fnCount++
+				}
 			}
 		}
-	}
-	return n
+	})
+	return fnCount
 }
 
 // WrapProgram builds the translation unit for a user program: the libc

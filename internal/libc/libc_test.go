@@ -68,6 +68,35 @@ func TestWrapProgramOrder(t *testing.T) {
 	}
 }
 
+// TestFilesDefensiveCopies checks the memoization contract: each Files()
+// call returns a fresh map, so CompileFor-style in-place inserts cannot
+// alias across compilations, and the cached bundle itself stays pristine.
+func TestFilesDefensiveCopies(t *testing.T) {
+	a := Files()
+	b := Files()
+	if &a == &b {
+		t.Fatal("identical map headers") // can't happen, but keep intent clear
+	}
+	a["user.c"] = "int main(void){return 0;}"
+	a["stdio.h"] = "clobbered"
+	if _, ok := b["user.c"]; ok {
+		t.Error("insert into one Files() map leaked into another")
+	}
+	if b["stdio.h"] == "clobbered" {
+		t.Error("overwrite of a bundled entry leaked into another call")
+	}
+	c := Files()
+	if c["stdio.h"] == "clobbered" || c["stdio.h"] == "" {
+		t.Error("cached bundle was corrupted by caller mutation")
+	}
+}
+
+func TestFunctionCountStable(t *testing.T) {
+	if FunctionCount() != FunctionCount() {
+		t.Error("FunctionCount must be deterministic")
+	}
+}
+
 func TestFunctionCount(t *testing.T) {
 	n := FunctionCount()
 	// The paper supports 126 functions; this bundle is smaller but must

@@ -20,14 +20,14 @@
 package sulong
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
-	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/jit"
-	"repro/internal/libc"
+	"repro/internal/pipeline"
 )
 
 // Engine selects an execution engine.
@@ -52,7 +52,20 @@ var engineNames = [...]string{
 	EngineMemcheck:   "Memcheck",
 }
 
-func (e Engine) String() string { return engineNames[e] }
+func (e Engine) String() string {
+	if e < 0 || int(e) >= len(engineNames) {
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+	return engineNames[e]
+}
+
+// flavor maps an engine to its compilation-pipeline flavor.
+func (e Engine) flavor() pipeline.Flavor {
+	if e == EngineSafeSulong {
+		return pipeline.FlavorManaged
+	}
+	return pipeline.FlavorNative
+}
 
 // Config configures compilation and execution.
 type Config struct {
@@ -74,6 +87,12 @@ type Config struct {
 	JITThreshold int64
 	// OnCompile observes tier-1 compilation events (Fig. 15).
 	OnCompile func(name string)
+
+	// NoCache bypasses the content-addressed module cache: the compile runs
+	// every pipeline stage from scratch and the caller owns the resulting
+	// module exclusively (it may be mutated freely). The cache is on by
+	// default; modules it returns are shared and must not be mutated.
+	NoCache bool
 
 	// MaxSteps bounds execution (0 = engine default).
 	MaxSteps int64
@@ -104,22 +123,37 @@ type Result struct {
 }
 
 // CompileOnly compiles a C program (user source plus the bundled libc) to an
-// unoptimized SIR module, as the managed engine consumes it.
+// unoptimized SIR module, as the managed engine consumes it. The result is
+// served from the content-addressed module cache and shared; treat it as
+// immutable (engines never mutate modules, and the tier-1 JIT clones before
+// optimizing).
 func CompileOnly(src string) (*ir.Module, error) {
-	files := libc.Files()
-	files["user.c"] = src
-	files["__program.c"] = libc.WrapProgram("user.c")
-	return cc.Compile("__program.c", files, cc.Options{})
+	res, err := pipeline.Compile(pipeline.Request{Source: src, Flavor: pipeline.FlavorManaged})
+	if err != nil {
+		return nil, err
+	}
+	return res.Module, nil
 }
 
 // CompileBare compiles a C program without linking the bundled libc sources
 // (headers remain available). This is the native toolchain's view: libc is
-// precompiled, only prototypes are seen at compile time.
+// precompiled, only prototypes are seen at compile time. No optimizer stage
+// runs — not even the -O0 backend fold. The front-end work is cached, but
+// the returned module is a private deep copy: callers historically hand
+// CompileBare results to the optimizer, which mutates in place.
 func CompileBare(src string) (*ir.Module, error) {
-	files := libc.Files()
-	files["user.c"] = src
-	return cc.Compile("user.c", files, cc.Options{})
+	res, err := pipeline.Compile(pipeline.Request{Source: src, Flavor: pipeline.FlavorNative, Bare: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Module.Clone(), nil
 }
+
+// CacheStats snapshots the process-wide module cache counters.
+func CacheStats() pipeline.CacheStats { return pipeline.Default.Stats() }
+
+// ResetCache drops every cached module (cold-start measurements and tests).
+func ResetCache() { pipeline.Default.Reset() }
 
 // Run compiles and executes a C program under the configured engine.
 //
@@ -135,28 +169,27 @@ func Run(src string, cfg Config) (Result, error) {
 	return RunModule(mod, cfg)
 }
 
-// CompileFor compiles src the way cfg.Engine's toolchain would.
+// CompileFor compiles src the way cfg.Engine's toolchain would, through the
+// staged pipeline. With the cache enabled (the default) the returned module
+// is shared with every other compilation of the same (source, flavor, opt
+// level) and must be treated as immutable; with cfg.NoCache it is owned by
+// the caller.
 func CompileFor(src string, cfg Config) (*ir.Module, error) {
-	if cfg.Engine == EngineSafeSulong {
-		files := libc.Files()
-		for k, v := range cfg.ExtraFiles {
-			files[k] = v
-		}
-		files["user.c"] = src
-		files["__program.c"] = libc.WrapProgram("user.c")
-		return cc.Compile("__program.c", files, cc.Options{})
+	req := pipeline.Request{
+		Source:     src,
+		ExtraFiles: cfg.ExtraFiles,
+		Flavor:     cfg.Engine.flavor(),
+		OptLevel:   cfg.OptLevel,
 	}
-	files := libc.Files() // headers only matter; sources are not linked
-	for k, v := range cfg.ExtraFiles {
-		files[k] = v
+	if cfg.NoCache {
+		mod, _, err := pipeline.CompileUncached(req)
+		return mod, err
 	}
-	files["user.c"] = src
-	mod, err := cc.Compile("user.c", files, cc.Options{})
+	res, err := pipeline.Compile(req)
 	if err != nil {
 		return nil, err
 	}
-	applyNativeOpt(mod, cfg.OptLevel)
-	return mod, nil
+	return res.Module, nil
 }
 
 // RunModule executes an already-compiled module under the configured engine.
@@ -205,17 +238,9 @@ func runManaged(mod *ir.Module, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// asBug reports whether err is, or wraps, a *core.BugError — including
+// multi-error wrappers (errors.Join), which the old hand-rolled unwrap loop
+// could not traverse.
 func asBug(err error, out **core.BugError) bool {
-	for err != nil {
-		if be, ok := err.(*core.BugError); ok {
-			*out = be
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
+	return errors.As(err, out)
 }
