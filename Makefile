@@ -1,9 +1,15 @@
 # Tier-1 gate: everything a change must pass before it lands.
 # `make check` == `make fmt vet build test race`.
+#
+# Every test invocation carries an explicit -timeout: the repository's own
+# subject matter is non-terminating guest programs, so the gate must fail
+# fast (with goroutine dumps) if a hang regression ever escapes the
+# execution governor, instead of idling until Go's default 10m.
 
 GO ?= go
+TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race bench clean
+.PHONY: check fmt vet build test race hangcheck bench clean
 
 check: fmt vet build test race
 
@@ -20,12 +26,19 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 # The concurrency suite (shared-module audit, parallel matrix, cache
 # coalescing) must stay race-clean.
 race:
-	$(GO) test -race -run 'Concurrent|Parallel|Matrix|Cache|ForEach' ./...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'Concurrent|Parallel|Matrix|Cache|ForEach' ./...
+
+# Hang-regression gate: the governor suite (step limits, wall-clock
+# deadlines, context cancellation, tier-1 fuel accounting, timeout matrix
+# cells) under the race detector with a tight budget. If any engine stops
+# polling the governor, this target times out instead of `make test`.
+hangcheck:
+	$(GO) test -race -timeout 120s -run 'Governor|Timeout|Deadline|Limit|Hang|Spin|Tier1|RunCtx|Ungetc|PanicContainment|ForEachPropagates|Degrades' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

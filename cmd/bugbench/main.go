@@ -13,10 +13,15 @@
 //
 //	bugbench                 # full detection matrix
 //	bugbench -parallel 1     # force the serial driver
+//	bugbench -timeout 5s     # per-cell wall-clock deadline
+//	bugbench -maxsteps N     # per-cell step budget (deterministic)
 //	bugbench -json out.json  # also emit a machine-readable report
 //	bugbench -casestudies    # only the Figs. 10-14 case studies
 //	bugbench -case NAME      # one corpus case, all tools, with reports
 //	bugbench -list           # corpus inventory with ground truth
+//
+// A case that exhausts its budget renders as a "timeout" cell; the rest of
+// the matrix completes normally.
 package main
 
 import (
@@ -38,6 +43,7 @@ type matrixReport struct {
 	WallClockMs float64           `json:"wallClockMs"`
 	Totals      map[string]int    `json:"totals"`
 	MissedBoth  []string          `json:"foundOnlyBySafeSulong"`
+	Timeouts    []string          `json:"timeouts,omitempty"`
 	Cache       sulongCacheReport `json:"cache"`
 }
 
@@ -58,8 +64,12 @@ func main() {
 	oneCase := flag.String("case", "", "run a single corpus case by name")
 	list := flag.Bool("list", false, "list corpus cases with ground truth")
 	parallel := flag.Int("parallel", 0, "matrix worker count (0 = one per CPU, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-cell wall-clock deadline (0 = none)")
+	maxSteps := flag.Int64("maxsteps", 0, "per-cell step budget (0 = harness default, <0 = engine default)")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
 	flag.Parse()
+
+	budget := harness.CaseBudget{MaxSteps: *maxSteps, Timeout: *timeout}
 
 	switch {
 	case *list:
@@ -75,7 +85,7 @@ func main() {
 				c.Name, c.Category, c.Access, c.Direction, c.Mem, extra)
 		}
 	case *caseStudies:
-		fmt.Print(harness.CaseStudies())
+		fmt.Print(harness.CaseStudiesWith(budget))
 	case *oneCase != "":
 		c, ok := corpus.Get(*oneCase)
 		if !ok {
@@ -85,18 +95,16 @@ func main() {
 		fmt.Printf("case %s (%s, %s %s, %s memory)\n\n%s\n\n",
 			c.Name, c.Category, c.Access, c.Direction, c.Mem, c.Source)
 		for _, tool := range harness.Tools() {
-			cell := harness.RunCase(c, tool)
-			status := "missed"
-			if cell.Detected {
-				status = "DETECTED"
-			} else if cell.Crashed {
-				status = "crashed"
-			}
-			fmt.Printf("  %-14s %-9s %s\n", tool, status, cell.Report)
+			cell := harness.RunCaseWith(c, tool, budget)
+			fmt.Printf("  %-14s %-9s %s\n", tool, cell.Status(), cell.Report)
 		}
 	default:
 		start := time.Now()
-		m := harness.RunDetectionMatrixWith(harness.MatrixOptions{Workers: *parallel})
+		m := harness.RunDetectionMatrixWith(harness.MatrixOptions{
+			Workers:     *parallel,
+			MaxSteps:    *maxSteps,
+			CaseTimeout: *timeout,
+		})
 		elapsed := time.Since(start)
 		fmt.Print(m.Render())
 		stats := sulong.CacheStats()
@@ -109,6 +117,7 @@ func main() {
 				WallClockMs: float64(elapsed.Microseconds()) / 1000,
 				Totals:      map[string]int{},
 				MissedBoth:  m.MissedByBoth(),
+				Timeouts:    m.Timeouts(),
 				Cache:       cacheReport(),
 			}
 			for _, tool := range harness.Tools() {

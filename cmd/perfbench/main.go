@@ -11,6 +11,7 @@
 //	perfbench -peak [-bench all]       # Fig. 16 relative execution times
 //	perfbench -peak -warmups 50 -samples 10 -full   # paper-sized runs
 //	perfbench -matrix [-parallel N]    # corpus-matrix wall clock, serial vs parallel
+//	perfbench -matrix -timeout 5s      # with a per-cell wall-clock deadline
 //	perfbench ... -json out.json       # machine-readable report (cache stats included)
 package main
 
@@ -76,6 +77,8 @@ func main() {
 	seconds := flag.Float64("seconds", 10, "wall-clock duration of the warm-up experiment")
 	full := flag.Bool("full", false, "use the paper-sized workloads (slower)")
 	parallel := flag.Int("parallel", 0, "matrix worker count (0 = one per CPU)")
+	cellTimeout := flag.Duration("timeout", 0, "per-cell wall-clock deadline for -matrix (0 = none)")
+	maxSteps := flag.Int64("maxsteps", 0, "per-cell step budget for -matrix (0 = harness default)")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
 	flag.Parse()
 
@@ -173,10 +176,14 @@ func main() {
 		fmt.Printf("Corpus-matrix wall clock (cache warm, %d cases x %d tools):\n",
 			len(harness.RunDetectionMatrix().Cases), len(harness.Tools()))
 		t0 := time.Now()
-		serial := harness.RunDetectionMatrixWith(harness.MatrixOptions{Workers: 1})
+		serial := harness.RunDetectionMatrixWith(harness.MatrixOptions{
+			Workers: 1, MaxSteps: *maxSteps, CaseTimeout: *cellTimeout,
+		})
 		serialDur := time.Since(t0)
 		t0 = time.Now()
-		par := harness.RunDetectionMatrixWith(harness.MatrixOptions{Workers: workers})
+		par := harness.RunDetectionMatrixWith(harness.MatrixOptions{
+			Workers: workers, MaxSteps: *maxSteps, CaseTimeout: *cellTimeout,
+		})
 		parDur := time.Since(t0)
 		if serial.Render() != par.Render() {
 			fmt.Fprintln(os.Stderr, "perfbench: serial and parallel matrices disagree")

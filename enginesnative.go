@@ -65,7 +65,7 @@ func nativeConfigWithHook(eng Engine) (nativevm.Config, func(res *Result), error
 
 // runNativeFamily executes a module on the simulated native machine,
 // optionally under ASan or memcheck instrumentation.
-func runNativeFamily(mod *ir.Module, cfg Config) (Result, error) {
+func runNativeFamily(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) {
 	ncfg, finish, err := nativeConfigWithHook(cfg.Engine)
 	if err != nil {
 		return Result{}, err
@@ -75,6 +75,7 @@ func runNativeFamily(mod *ir.Module, cfg Config) (Result, error) {
 	ncfg.Stdin = cfg.Stdin
 	ncfg.Stdout = cfg.Stdout
 	ncfg.MaxSteps = cfg.MaxSteps
+	ncfg.Governor = gov
 
 	m, err := nativevm.New(mod, ncfg)
 	if err != nil {

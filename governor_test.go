@@ -1,0 +1,274 @@
+package sulong_test
+
+// Hang-regression suite for the execution governor: a non-terminating guest
+// program must never hang the host. Every tier — the tier-0 interpreters,
+// tier-1 compiled code, and the instrumented native machines — honors the
+// same step budget, and all of them poll the wall-clock/context governor at
+// block boundaries.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	sulong "repro"
+	"repro/internal/core"
+)
+
+const spinForever = `
+int main(void) {
+    volatile long i = 0;
+    for (;;) { i++; }
+    return 0;
+}
+`
+
+// hotSpin only hangs when asked to: f(0) terminates quickly (so the JIT can
+// warm up on it), f(1) loops forever in the by-then-compiled body.
+const hotSpin = `
+long f(int hang) {
+    long i = 0;
+    while (hang || i < 100) { i++; }
+    return i;
+}
+int main(int argc, char **argv) {
+    long total = 0;
+    for (int k = 0; k < 64; k++) { total += f(0); }
+    total += f(1); /* hangs in tier-1 code */
+    return (int)total;
+}
+`
+
+// TestStepLimitStopsInfiniteLoopEveryEngine: while(1) exhausts MaxSteps and
+// surfaces a *core.LimitError under all four engines.
+func TestStepLimitStopsInfiniteLoopEveryEngine(t *testing.T) {
+	for _, eng := range allEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			_, err := sulong.Run(spinForever, sulong.Config{Engine: eng, MaxSteps: 200_000})
+			var limit *core.LimitError
+			if !errors.As(err, &limit) {
+				t.Fatalf("%v: got err=%v, want *core.LimitError", eng, err)
+			}
+		})
+	}
+}
+
+// TestStepLimitStopsHotJITLoop is the issue's acceptance criterion: an
+// infinite loop inside a function hot enough to be tier-1-compiled must
+// still exhaust the budget — compiled code charges fuel per block, it is
+// not free.
+func TestStepLimitStopsHotJITLoop(t *testing.T) {
+	for _, jit := range []bool{false, true} {
+		t.Run(fmt.Sprintf("jit=%v", jit), func(t *testing.T) {
+			cfg := sulong.Config{
+				Engine:   sulong.EngineSafeSulong,
+				MaxSteps: 1_000_000,
+				JIT:      jit,
+			}
+			var compiled []string
+			if jit {
+				cfg.JITThreshold = 8
+				cfg.OnCompile = func(name string) { compiled = append(compiled, name) }
+			}
+			_, err := sulong.Run(hotSpin, cfg)
+			var limit *core.LimitError
+			if !errors.As(err, &limit) {
+				t.Fatalf("jit=%v: got err=%v, want *core.LimitError", jit, err)
+			}
+			if jit {
+				found := false
+				for _, name := range compiled {
+					if strings.Contains(name, "f") {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("jit=true: hot function was never tier-1 compiled (compiled: %v) — the test is not exercising compiled code", compiled)
+				}
+			}
+		})
+	}
+}
+
+// TestStepLimitIsDeterministic: the same program and budget produce the
+// same LimitError text on every run — the property that keeps timeout
+// cells byte-identical across matrix worker counts.
+func TestStepLimitIsDeterministic(t *testing.T) {
+	msg := func() string {
+		_, err := sulong.Run(spinForever, sulong.Config{Engine: sulong.EngineSafeSulong, MaxSteps: 100_000})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		return err.Error()
+	}
+	first := msg()
+	for i := 0; i < 3; i++ {
+		if got := msg(); got != first {
+			t.Fatalf("run %d: %q != %q", i, got, first)
+		}
+	}
+}
+
+// TestWallClockDeadlineEveryEngine: with no step budget, the cooperative
+// wall-clock watchdog stops the loop and reports *core.DeadlineError.
+func TestWallClockDeadlineEveryEngine(t *testing.T) {
+	for _, eng := range allEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			start := time.Now()
+			_, err := sulong.Run(spinForever, sulong.Config{Engine: eng, Timeout: 100 * time.Millisecond})
+			var deadline *core.DeadlineError
+			if !errors.As(err, &deadline) {
+				t.Fatalf("%v: got err=%v, want *core.DeadlineError", eng, err)
+			}
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Fatalf("%v: cancellation took %v — the engine is not polling the governor", eng, elapsed)
+			}
+		})
+	}
+}
+
+// TestWallClockDeadlineHotJITLoop: tier-1 compiled code also polls the
+// governor — a deadline interrupts a loop running as compiled closures.
+func TestWallClockDeadlineHotJITLoop(t *testing.T) {
+	_, err := sulong.Run(hotSpin, sulong.Config{
+		Engine:       sulong.EngineSafeSulong,
+		JIT:          true,
+		JITThreshold: 8,
+		Timeout:      100 * time.Millisecond,
+	})
+	var deadline *core.DeadlineError
+	if !errors.As(err, &deadline) {
+		t.Fatalf("got err=%v, want *core.DeadlineError", err)
+	}
+}
+
+// TestRunCtxCancellation: caller-driven cancellation via context stops the
+// run and the error names the context's cause.
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := sulong.RunCtx(ctx, spinForever, sulong.Config{Engine: sulong.EngineSafeSulong})
+	var deadline *core.DeadlineError
+	if !errors.As(err, &deadline) {
+		t.Fatalf("got err=%v, want *core.DeadlineError", err)
+	}
+	if !strings.Contains(deadline.Cause, "context") {
+		t.Errorf("cause %q does not mention the context", deadline.Cause)
+	}
+}
+
+// TestRunCtxPreDeadlined: an already-expired context never starts spinning.
+func TestRunCtxPreDeadlined(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := sulong.RunCtx(ctx, spinForever, sulong.Config{Engine: sulong.EngineNative})
+	var deadline *core.DeadlineError
+	if !errors.As(err, &deadline) {
+		t.Fatalf("got err=%v, want *core.DeadlineError", err)
+	}
+}
+
+// TestTimeoutUnsetDoesNotCancel: governor machinery must be inert for
+// ordinary runs — a terminating program with no timeout behaves as before.
+func TestTimeoutUnsetDoesNotCancel(t *testing.T) {
+	res, err := sulong.Run(`int main(void){ return 7; }`, sulong.Config{Engine: sulong.EngineSafeSulong})
+	if err != nil || res.ExitCode != 7 {
+		t.Fatalf("got (%d, %v), want (7, nil)", res.ExitCode, err)
+	}
+}
+
+// TestPanicContainment: an engine panic (provoked by a deliberately
+// corrupted module) is recovered at the RunModule boundary and surfaces as
+// a structured *core.InternalError instead of killing the process.
+func TestPanicContainment(t *testing.T) {
+	mod, err := sulong.CompileFor(`int main(void){ return 0; }`,
+		sulong.Config{Engine: sulong.EngineSafeSulong, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt main: a nil entry block makes the interpreter dereference nil
+	// — exactly the class of engine bug the containment boundary is for.
+	corrupted := false
+	for _, f := range mod.Funcs {
+		if f.Name == "main" && len(f.Blocks) > 0 {
+			f.Blocks[0] = nil
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("could not find main to corrupt")
+	}
+	_, err = sulong.RunModule(mod, sulong.Config{Engine: sulong.EngineSafeSulong})
+	var internal *core.InternalError
+	if !errors.As(err, &internal) {
+		t.Fatalf("got err=%v, want *core.InternalError", err)
+	}
+	if internal.Stack == "" {
+		t.Error("InternalError carries no stack trace")
+	}
+}
+
+// TestUngetcEOFIsNoOp: C11 7.21.7.10p3 — ungetc(EOF, stream) returns EOF
+// without touching the pushback buffer, so the next getchar() still reads
+// the real input. Regression for the hang where EOF (-1) was pushed back
+// as 0xFF and re-read forever.
+func TestUngetcEOFIsNoOp(t *testing.T) {
+	src := `
+#include <stdio.h>
+int main(void) {
+    int r = ungetc(EOF, stdin);
+    int c = getchar();
+    printf("%d %d\n", r, c);
+    return 0;
+}
+`
+	for _, eng := range allEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			res, err := sulong.Run(src, sulong.Config{
+				Engine:   eng,
+				Stdin:    strings.NewReader("A"),
+				MaxSteps: 10_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := strings.TrimSpace(res.Stdout), "-1 65"; got != want {
+				t.Fatalf("%v: output %q, want %q", eng, got, want)
+			}
+		})
+	}
+}
+
+// TestUngetcPushbackStillWorks: the ordinary pushback path is unchanged.
+func TestUngetcPushbackStillWorks(t *testing.T) {
+	src := `
+#include <stdio.h>
+int main(void) {
+    ungetc('Z', stdin);
+    printf("%c%c\n", getchar(), getchar());
+    return 0;
+}
+`
+	for _, eng := range allEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			res, err := sulong.Run(src, sulong.Config{
+				Engine:   eng,
+				Stdin:    strings.NewReader("A"),
+				MaxSteps: 10_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := strings.TrimSpace(res.Stdout), "ZA"; got != want {
+				t.Fatalf("%v: output %q, want %q", eng, got, want)
+			}
+		})
+	}
+}

@@ -66,6 +66,20 @@ type Tool struct {
 	// one-entry shadow page cache: most accesses hit the same page.
 	cachePage uint64
 	cacheBuf  []byte
+
+	// fuel, when set by the machine, charges data-proportional shadow work
+	// (range checks, poisoning) against the run's step budget so
+	// instrumented bulk operations honor the execution governor.
+	fuel func(n int64)
+}
+
+// SetFuel installs the machine's fuel account (nativevm wires this up).
+func (t *Tool) SetFuel(f func(n int64)) { t.fuel = f }
+
+func (t *Tool) charge(n int64) {
+	if t.fuel != nil && n > 0 {
+		t.fuel(n)
+	}
 }
 
 // New builds an ASan tool.
@@ -95,6 +109,7 @@ func (t *Tool) state(addr uint64) byte {
 }
 
 func (t *Tool) setState(addr uint64, size int64, s byte) {
+	t.charge(size / 8)
 	for i := int64(0); i < size; i++ {
 		a := addr + uint64(i)
 		pg, ok := t.shadow[a/nativemem.PageSize]
@@ -183,6 +198,7 @@ func (t *Tool) Store(addr uint64, size int64) *core.BugError {
 
 // CheckRange validates every byte of a range (interceptors use this).
 func (t *Tool) CheckRange(addr uint64, size int64, acc core.AccessKind) *core.BugError {
+	t.charge(size / 8)
 	for i := int64(0); i < size; i++ {
 		if be := report(t.state(addr+uint64(i)), addr+uint64(i), 1, acc); be != nil {
 			return be

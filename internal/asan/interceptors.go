@@ -39,6 +39,9 @@ func Interceptors(base map[string]nativevm.LibFunc, t *Tool) map[string]nativevm
 				break
 			}
 		}
+		// The interceptor's scan is real work: charge it as fuel so
+		// repeated giant-string validation honors the step budget.
+		m.AddSteps(n / 8)
 		return t.CheckRange(addr, n+1, acc)
 	}
 

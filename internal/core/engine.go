@@ -66,6 +66,10 @@ type Config struct {
 	// use-after-return/use-after-scope class ASan added after the paper's
 	// original publication; the managed model gets it by marking objects).
 	DetectUseAfterReturn bool
+	// Governor, when non-nil, is the run's cooperative cancellation point:
+	// the interpreter and tier-1 compiled code poll it at basic-block
+	// boundaries and return its *DeadlineError when it has been stopped.
+	Governor *Governor
 	// Tier1 enables dynamic compilation of hot functions.
 	Tier1 Tier1Compiler
 	// Tier1Threshold is the call count that triggers compilation (default 50).
@@ -101,6 +105,7 @@ type Engine struct {
 
 	steps    int64
 	maxSteps int64
+	gov      *Governor
 	depth    int
 	maxDepth int
 	nextID   int64
@@ -116,7 +121,7 @@ type Engine struct {
 // NewEngine prepares a managed engine for the module. The module is not
 // mutated; globals are instantiated as managed objects.
 func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
-	e := &Engine{mod: mod, cfg: cfg}
+	e := &Engine{mod: mod, cfg: cfg, gov: cfg.Governor}
 	e.maxSteps = cfg.MaxSteps
 	if e.maxSteps == 0 {
 		e.maxSteps = 2_000_000_000
@@ -151,6 +156,23 @@ func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
 
 // Module returns the module being executed.
 func (e *Engine) Module() *ir.Module { return e.mod }
+
+// ChargeSteps is the unified fuel account: it charges n instruction steps
+// against the engine's budget and polls the run governor. The tier-0
+// interpreter charges one step per instruction; tier-1 compiled code calls
+// this once per executed basic block with the block's instruction count, so
+// Config.MaxSteps binds identically whether a hot loop is interpreted or
+// compiled, and Stats.Steps stays comparable across tiers.
+func (e *Engine) ChargeSteps(n int64) error {
+	e.steps += n
+	if e.steps > e.maxSteps {
+		return &LimitError{What: fmt.Sprintf("%d interpreter steps", e.maxSteps)}
+	}
+	if e.gov.Stopped() {
+		return e.gov.Err()
+	}
+	return nil
+}
 
 // Stats returns a snapshot of execution counters.
 func (e *Engine) Stats() Stats {

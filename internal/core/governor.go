@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Governor is the cross-engine execution governor: a single cancellation
+// point shared by every engine of one run (the managed interpreter, the
+// tier-1 compiled code, and the simulated native machine with its tools).
+// Engines poll Stopped() — one atomic load — at basic-block boundaries, so
+// a non-terminating program reacts to cancellation within one block.
+//
+// The flag is set either by the caller (context cancellation) or by the
+// watchdog armed from Config.Timeout; the first Stop wins and its reason is
+// what the resulting *DeadlineError carries. A nil *Governor is valid and
+// means "never cancelled", so engines can keep a single code path.
+type Governor struct {
+	stop   atomic.Bool
+	reason atomic.Pointer[string]
+}
+
+// Stop requests cooperative cancellation. The first caller's reason is
+// kept; later calls are no-ops (the run is already winding down).
+func (g *Governor) Stop(reason string) {
+	if g == nil {
+		return
+	}
+	if g.reason.CompareAndSwap(nil, &reason) {
+		g.stop.Store(true)
+	}
+}
+
+// Stopped reports whether cancellation was requested. This is the cheap
+// per-block poll: a single atomic load.
+func (g *Governor) Stopped() bool {
+	return g != nil && g.stop.Load()
+}
+
+// Err returns the structured cancellation error, or nil if the governor
+// has not been stopped.
+func (g *Governor) Err() error {
+	if g == nil || !g.stop.Load() {
+		return nil
+	}
+	reason := "cancelled"
+	if r := g.reason.Load(); r != nil {
+		reason = *r
+	}
+	return &DeadlineError{Cause: reason}
+}
+
+// Watch arms the governor from a context and an optional wall-clock budget:
+// whichever fires first stops the run. It returns a release function that
+// must be called when the run finishes (normally via defer); releasing
+// tears the watchdog goroutine down without stopping the governor.
+//
+// With a background context and zero timeout no goroutine is started and
+// the release function is a no-op — uncancellable runs stay zero-cost.
+func (g *Governor) Watch(ctx context.Context, timeout time.Duration) (release func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() == nil && timeout <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var timer <-chan time.Time
+	var tstop *time.Timer
+	if timeout > 0 {
+		tstop = time.NewTimer(timeout)
+		timer = tstop.C
+	}
+	go func() {
+		defer func() {
+			if tstop != nil {
+				tstop.Stop()
+			}
+		}()
+		select {
+		case <-ctx.Done():
+			g.Stop(fmt.Sprintf("context cancelled (%v)", context.Cause(ctx)))
+		case <-timer:
+			g.Stop(fmt.Sprintf("wall-clock timeout after %v", timeout))
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// DeadlineError reports that a run was cancelled cooperatively: the
+// wall-clock budget expired or the caller's context was cancelled. It is
+// distinct from *LimitError (a deterministic step-budget exhaustion) so
+// harnesses can classify the two outcomes separately, but both mean "the
+// program did not terminate within its budget".
+type DeadlineError struct {
+	Cause string
+}
+
+func (e *DeadlineError) Error() string { return "execution deadline exceeded: " + e.Cause }
+
+// InternalError is a contained engine panic: a bug in the interpreter, the
+// tier-1 compiler, or the simulated machine — never in the guest program.
+// RunModule's recovery boundary converts panics into this error so one bad
+// case cannot kill a whole evaluation matrix mid-run.
+type InternalError struct {
+	Panic any
+	Stack string
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("internal engine error: panic: %v", e.Panic)
+}

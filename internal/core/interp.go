@@ -17,6 +17,11 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 		if e.steps > e.maxSteps {
 			return Value{}, &LimitError{What: fmt.Sprintf("%d interpreter steps", e.maxSteps)}
 		}
+		if ii == 0 && e.gov.Stopped() {
+			// Cancellation point: polled once per basic block entered, so a
+			// non-terminating loop reacts within one block (tentpole #2).
+			return Value{}, e.gov.Err()
+		}
 		in := &f.Blocks[blk].Instrs[ii]
 		switch in.Op {
 		case ir.OpAlloca:

@@ -6,11 +6,15 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	sulong "repro"
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/nativemem"
 )
@@ -72,7 +76,28 @@ type Detection struct {
 	Detected bool
 	Report   string // the tool's message, when one was produced
 	Crashed  bool   // the program trapped (SIGSEGV-style)
+	// Timeout marks a case that did not terminate within its budget: the
+	// step limit was exhausted (*core.LimitError, deterministic) or the
+	// wall-clock deadline fired (*core.DeadlineError). Distinct from
+	// RunError so the tables do not render a non-terminating program the
+	// same as an infrastructure failure.
+	Timeout  bool
 	RunError string // infrastructure failure (should be empty)
+}
+
+// Status renders the cell's classification for tables and CLIs.
+func (d Detection) Status() string {
+	switch {
+	case d.Detected:
+		return "DETECTED"
+	case d.Timeout:
+		return "timeout"
+	case d.Crashed:
+		return "crashed"
+	case d.RunError != "":
+		return "error"
+	}
+	return "missed"
 }
 
 // MatrixResult is the full detection matrix.
@@ -82,19 +107,67 @@ type MatrixResult struct {
 	Totals map[Tool]int
 }
 
-// RunCase executes one corpus case under one tool and classifies the result.
+// DefaultMaxSteps is the per-case step budget RunCase applies when the
+// caller does not choose one. It is generous enough for every corpus case
+// yet bounds a non-terminating program deterministically.
+const DefaultMaxSteps = 50_000_000
+
+// CaseBudget bounds one cell's execution. The zero value means "harness
+// defaults": DefaultMaxSteps and no wall-clock deadline.
+type CaseBudget struct {
+	// MaxSteps is the step budget. 0 selects DefaultMaxSteps; a negative
+	// value defers to the engine's own default (effectively unbounded).
+	MaxSteps int64
+	// Timeout is a per-case wall-clock deadline (0 = none). Unlike step
+	// limits it is not deterministic, but the resulting cell renders
+	// identically (the report quotes the configured budget, not elapsed
+	// time), so matrix output stays byte-stable.
+	Timeout time.Duration
+}
+
+func (b CaseBudget) maxSteps() int64 {
+	switch {
+	case b.MaxSteps > 0:
+		return b.MaxSteps
+	case b.MaxSteps < 0:
+		return 0 // engine default
+	}
+	return DefaultMaxSteps
+}
+
+// RunCase executes one corpus case under one tool with the default budget
+// and classifies the result.
 func RunCase(c corpus.Case, tool Tool) Detection {
+	return RunCaseWith(c, tool, CaseBudget{})
+}
+
+// RunCaseWith executes one corpus case under one tool within the given
+// budget. It never panics: engine panics are already contained by
+// sulong.RunModuleCtx, and any harness-side panic is recovered here into
+// the cell's RunError, so one bad case cannot take down a whole matrix.
+func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
+	defer func() {
+		if r := recover(); r != nil {
+			d = Detection{RunError: fmt.Sprintf("internal harness error: panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
 	cfg := tool.config()
 	cfg.Args = c.Args
 	if c.Stdin != "" {
 		cfg.Stdin = strings.NewReader(c.Stdin)
 	}
-	cfg.MaxSteps = 50_000_000
+	cfg.MaxSteps = b.maxSteps()
+	cfg.Timeout = b.Timeout
 	res, err := sulong.Run(c.Source, cfg)
 	if err != nil {
+		var limit *core.LimitError
+		var deadline *core.DeadlineError
+		if errors.As(err, &limit) || errors.As(err, &deadline) {
+			return Detection{Timeout: true, Report: err.Error()}
+		}
 		return Detection{RunError: err.Error()}
 	}
-	d := Detection{}
+	d = Detection{}
 	if res.Bug != nil {
 		d.Detected = true
 		d.Report = res.Bug.Error()
@@ -149,6 +222,21 @@ func (m *MatrixResult) Table2() (rw map[corpus.Access]int, dir map[corpus.Direct
 	return
 }
 
+// Timeouts lists every cell classified Timeout, as "case/tool" strings in
+// deterministic (case, tool) order. Empty under the default budgets: the
+// corpus terminates.
+func (m *MatrixResult) Timeouts() []string {
+	var out []string
+	for _, c := range m.Cases {
+		for _, tool := range Tools() {
+			if m.Cells[c.Name][tool].Timeout {
+				out = append(out, fmt.Sprintf("%s / %s", c.Name, tool))
+			}
+		}
+	}
+	return out
+}
+
 // MissedByBoth lists bugs found by Safe Sulong but by neither ASan nor
 // Valgrind at either optimization level — the paper's "8 errors".
 func (m *MatrixResult) MissedByBoth() []string {
@@ -188,6 +276,12 @@ func (m *MatrixResult) Render() string {
 	for _, tool := range Tools() {
 		fmt.Fprintf(&b, "  %-14s %2d / %d\n", tool, m.Totals[tool], len(m.Cases))
 	}
+	if t := m.Timeouts(); len(t) > 0 {
+		b.WriteString("\nCells that exhausted their budget (timeout)\n")
+		for _, cell := range t {
+			fmt.Fprintf(&b, "  - %s\n", cell)
+		}
+	}
 	b.WriteString("\nFound by Safe Sulong, missed by ASan and Valgrind at -O0 and -O3:\n")
 	for _, name := range m.MissedByBoth() {
 		fmt.Fprintf(&b, "  - %s\n", name)
@@ -197,6 +291,11 @@ func (m *MatrixResult) Render() string {
 
 // CaseStudies runs only the five paper figures and reports per-tool results.
 func CaseStudies() string {
+	return CaseStudiesWith(CaseBudget{})
+}
+
+// CaseStudiesWith is CaseStudies under a caller-chosen per-cell budget.
+func CaseStudiesWith(budget CaseBudget) string {
 	var b strings.Builder
 	for _, c := range corpus.All() {
 		if c.CaseStudy == "" {
@@ -204,14 +303,8 @@ func CaseStudies() string {
 		}
 		fmt.Fprintf(&b, "%s (%s)\n", c.CaseStudy, c.Name)
 		for _, tool := range Tools() {
-			cell := RunCase(c, tool)
-			status := "missed"
-			if cell.Detected {
-				status = "DETECTED"
-			} else if cell.Crashed {
-				status = "crashed"
-			}
-			fmt.Fprintf(&b, "  %-14s %-9s %s\n", tool, status, firstLine(cell.Report))
+			cell := RunCaseWith(c, tool, budget)
+			fmt.Fprintf(&b, "  %-14s %-9s %s\n", tool, cell.Status(), firstLine(cell.Report))
 		}
 		b.WriteString("\n")
 	}

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/corpus"
 )
@@ -14,6 +17,11 @@ import (
 // historical drivers. fn receives the item index; result placement is the
 // caller's responsibility (index into a pre-sized slice for deterministic
 // assembly regardless of completion order).
+//
+// A panic in fn does not kill the worker's goroutine silently (which would
+// deadlock wg.Wait in older Go) nor crash the process from a goroutine the
+// caller cannot recover on: the first panic is captured, the remaining work
+// is drained, and the panic is re-raised on the caller's goroutine.
 func ForEach(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,6 +37,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	var next atomic.Int64
 	next.Store(-1)
+	var panicked atomic.Pointer[workerPanic]
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -39,11 +48,28 @@ func ForEach(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &workerPanic{item: i, value: r, stack: debug.Stack()})
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("harness.ForEach: worker panic on item %d: %v\n%s", p.item, p.value, p.stack))
+	}
+}
+
+// workerPanic records the first panic observed by a ForEach worker.
+type workerPanic struct {
+	item  int
+	value any
+	stack []byte
 }
 
 // MatrixOptions configures the detection-matrix driver.
@@ -58,6 +84,14 @@ type MatrixOptions struct {
 	// Progress, when non-nil, is called after every completed cell with the
 	// running count. Calls are serialized.
 	Progress func(done, total int)
+	// MaxSteps is the per-cell step budget (0 = DefaultMaxSteps, < 0 =
+	// engine default). Deterministic: a case that exhausts it produces the
+	// same Timeout cell at any worker count.
+	MaxSteps int64
+	// CaseTimeout is a per-cell wall-clock deadline (0 = none). A cell that
+	// trips it is classified Timeout, and the rest of the matrix completes
+	// normally.
+	CaseTimeout time.Duration
 }
 
 // RunDetectionMatrixWith runs the corpus×tool evaluation matrix on a
@@ -80,12 +114,13 @@ func RunDetectionMatrixWith(opts MatrixOptions) *MatrixResult {
 	total := len(cases) * nt
 	grid := make([]Detection, total)
 
+	budget := CaseBudget{MaxSteps: opts.MaxSteps, Timeout: opts.CaseTimeout}
 	var progressMu sync.Mutex
 	var done int
 	ForEach(total, opts.Workers, func(i int) {
 		c := cases[i/nt]
 		tool := tools[i%nt]
-		grid[i] = RunCase(c, tool)
+		grid[i] = RunCaseWith(c, tool, budget)
 		if opts.Progress != nil {
 			progressMu.Lock()
 			done++

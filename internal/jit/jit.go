@@ -40,6 +40,12 @@ type term func(e *core.Engine, fr *core.Frame) (next int, ret core.Value, done b
 type block struct {
 	body []step
 	term term
+	// cost is the fuel charged when the block executes: its instruction
+	// count (body + terminator). Charging per block instead of per closure
+	// keeps compiled code cheap while making Config.MaxSteps binding in
+	// tier 1 — before this accounting existed, a hot loop that compiled
+	// executed zero-cost forever and MaxSteps was silently unenforced.
+	cost int64
 }
 
 // Compile lowers the function at fidx to closures.
@@ -68,6 +74,7 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 		}
 		blocks[bi].body = body
 		blocks[bi].term = t
+		blocks[bi].cost = int64(n)
 		c.InstrsTotal += n
 	}
 	c.Compiled++
@@ -82,6 +89,13 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 		blk := 0
 		for {
 			b := &blocks[blk]
+			// Fuel + cancellation: one charge per basic block. This is the
+			// execution governor's tier-1 hook — compiled loops consume the
+			// same step budget as interpreted ones and observe cooperative
+			// cancellation at every block boundary.
+			if err := e.ChargeSteps(b.cost); err != nil {
+				return core.Value{}, err
+			}
 			for _, s := range b.body {
 				if err := s(e, fr); err != nil {
 					return core.Value{}, err

@@ -30,7 +30,13 @@ int getchar(void) {
 }
 
 int ungetc(int c, FILE *stream) {
+    /* C11 7.21.7.10p3: pushing back EOF is a no-op that returns EOF.
+     * Storing it would make the next getchar spuriously report
+     * end-of-stream. */
     (void)stream;
+    if (c == -1)
+        return -1;
+    c = c & 0xff;
     __ungot = c;
     return c;
 }

@@ -38,6 +38,20 @@ type Tool struct {
 	// combines and rewrites register definedness state.
 	regShadow [64]uint64
 	shadowIdx int
+
+	// fuel, when set by the machine, charges data-proportional shadow
+	// bookkeeping (A/V-bit range updates) against the run's step budget so
+	// instrumented bulk operations honor the execution governor.
+	fuel func(n int64)
+}
+
+// SetFuel installs the machine's fuel account (nativevm wires this up).
+func (t *Tool) SetFuel(f func(n int64)) { t.fuel = f }
+
+func (t *Tool) charge(n int64) {
+	if t.fuel != nil && n > 0 {
+		t.fuel(n)
+	}
 }
 
 // PerInstr is installed as the machine's per-instruction hook: it performs
@@ -84,6 +98,7 @@ func (t *Tool) aState(addr uint64) byte {
 }
 
 func (t *Tool) setA(addr uint64, size int64, v byte) {
+	t.charge(size / 8)
 	for i := int64(0); i < size; i++ {
 		a := addr + uint64(i)
 		pg, ok := t.abits[a/nativemem.PageSize]
@@ -101,6 +116,7 @@ func (t *Tool) setA(addr uint64, size int64, v byte) {
 // observable behaviour, which this model does not flag — the paper found
 // that signal unreliable — but the shadow traffic is real).
 func (t *Tool) touchV(addr uint64, size int64, write bool) {
+	t.charge(size / 8)
 	pgIdx := addr / nativemem.PageSize
 	pg, ok := t.vbits[pgIdx]
 	if !ok {

@@ -74,7 +74,11 @@ func (m *Machine) exec(fr *Frame) (Value, error) {
 	for {
 		m.steps++
 		if m.steps > m.maxSteps {
-			return Value{}, fmt.Errorf("nativevm: execution limit exceeded (%d steps)", m.maxSteps)
+			return Value{}, &core.LimitError{What: fmt.Sprintf("%d native steps", m.maxSteps)}
+		}
+		if ii == 0 && m.gov.Stopped() {
+			// Cancellation point: polled once per basic block entered.
+			return Value{}, m.gov.Err()
 		}
 		in := &f.Blocks[blk].Instrs[ii]
 		if m.perInstr != nil {

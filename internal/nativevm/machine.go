@@ -111,6 +111,10 @@ type Config struct {
 	Stdout   io.Writer
 	MaxSteps int64
 	MaxDepth int
+	// Governor, when non-nil, is the run's cooperative cancellation point:
+	// the machine polls it at basic-block boundaries and libc fast paths
+	// charge fuel against the same budget (execution governor).
+	Governor *core.Governor
 }
 
 // Machine is a native execution engine instance.
@@ -134,6 +138,7 @@ type Machine struct {
 
 	steps    int64
 	maxSteps int64
+	gov      *core.Governor
 	depth    int
 	maxDepth int
 
@@ -160,6 +165,7 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 		libc:       cfg.Libc,
 		globalAddr: map[string]uint64{},
 		maxSteps:   cfg.MaxSteps,
+		gov:        cfg.Governor,
 		maxDepth:   cfg.MaxDepth,
 		RandState:  1,
 		Ungot:      -2,
@@ -186,6 +192,12 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 	} else {
 		m.Alloc = NewFreeListAlloc(m.Mem)
 	}
+	// Tools that perform data-proportional shadow work (ASan's range
+	// checks, memcheck's A/V-bit updates) charge it against the machine's
+	// step budget so instrumented bulk operations cannot escape MaxSteps.
+	if fa, ok := any(m.checker).(interface{ SetFuel(func(n int64)) }); ok && m.checker != nil {
+		fa.SetFuel(m.AddSteps)
+	}
 
 	// Stack.
 	m.Mem.Map(StackTop-StackSize, StackSize)
@@ -209,6 +221,26 @@ func (m *Machine) Output() string {
 
 // Steps reports executed instruction count.
 func (m *Machine) Steps() int64 { return m.steps }
+
+// AddSteps charges n steps of fuel without an inline budget check; the
+// exhaustion is observed at the next instruction boundary. Checker tools
+// use it for shadow bookkeeping (their interfaces have no error path).
+func (m *Machine) AddSteps(n int64) { m.steps += n }
+
+// ChargeSteps charges n steps of fuel against the machine's budget and
+// polls the run governor. Libc fast paths that loop over guest memory
+// (strlen, memcpy, the scanf character pump) call it so a bulk operation
+// driven by a corrupted size consumes budget like interpreted code would.
+func (m *Machine) ChargeSteps(n int64) error {
+	m.steps += n
+	if m.steps > m.maxSteps {
+		return &core.LimitError{What: fmt.Sprintf("%d native steps", m.maxSteps)}
+	}
+	if m.gov.Stopped() {
+		return m.gov.Err()
+	}
+	return nil
+}
 
 // layoutGlobals packs module globals into the data segment, in declaration
 // order, with only natural alignment between them (adjacent objects!), plus

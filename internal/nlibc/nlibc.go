@@ -36,6 +36,12 @@ type mem struct {
 }
 
 func (a mem) load(addr uint64, size int64) (int64, error) {
+	// Fuel: libc loops are guest work. Charging one step per access keeps a
+	// size-corrupted bulk operation inside the machine's step budget and
+	// makes it observe cooperative cancellation (execution governor).
+	if err := a.m.ChargeSteps(1); err != nil {
+		return 0, err
+	}
 	if a.checked && a.m.Checker() != nil {
 		if rep := a.m.Checker().Load(addr, size); rep != nil {
 			return 0, rep
@@ -49,6 +55,9 @@ func (a mem) load(addr uint64, size int64) (int64, error) {
 }
 
 func (a mem) store(addr uint64, size int64, v int64) error {
+	if err := a.m.ChargeSteps(1); err != nil {
+		return err
+	}
 	if a.checked && a.m.Checker() != nil {
 		if rep := a.m.Checker().Store(addr, size); rep != nil {
 			return rep
@@ -75,6 +84,11 @@ func (a mem) storeByte(addr uint64, b byte) error { return a.store(addr, 1, int6
 func wordStrlen(m *nativevm.Machine, addr uint64) (int64, error) {
 	n := int64(0)
 	for {
+		// Fuel: one step per scanned word, so an unterminated scan over a
+		// large mapped region stays inside the machine's step budget.
+		if err := m.ChargeSteps(1); err != nil {
+			return 0, err
+		}
 		w, f := m.Mem.Load(addr+uint64(n), 8)
 		if f != nil {
 			// Fall back to byte loads near a page boundary, like real

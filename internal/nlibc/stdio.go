@@ -34,8 +34,15 @@ func addStdio(t map[string]nativevm.LibFunc, checked bool) {
 		return nativevm.IntVal(getchar(m)), nil
 	}
 	t["ungetc"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
-		m.Ungot = int(c.Args[0].I)
-		return c.Args[0], nil
+		// C11 7.21.7.10p3: ungetc(EOF, f) is a no-op that returns EOF.
+		// Storing it would make the next getchar spuriously report
+		// end-of-stream (Ungot == -1 is indistinguishable from EOF).
+		ch := int(c.Args[0].I)
+		if ch == -1 {
+			return nativevm.IntVal(-1), nil
+		}
+		m.Ungot = ch & 0xff
+		return nativevm.IntVal(int64(ch & 0xff)), nil
 	}
 	t["puts"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
 		s := uint64(c.Args[0].I)

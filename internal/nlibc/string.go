@@ -97,6 +97,9 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 	strcmpImpl := func(m *nativevm.Machine, pa, pb uint64, n int64, bounded bool) (int64, error) {
 		// Byte-wise but unchecked: comparison loops are also fast paths.
 		for i := int64(0); !bounded || i < n; i++ {
+			if err := m.ChargeSteps(1); err != nil {
+				return 0, err
+			}
 			ba, f := m.Mem.LoadByte(pa + uint64(i))
 			if f != nil {
 				return 0, f
@@ -169,6 +172,9 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 			return nativevm.Value{}, f
 		}
 		for i := uint64(0); ; i++ {
+			if err := m.ChargeSteps(1); err != nil {
+				return nativevm.Value{}, err
+			}
 			b, f := m.Mem.LoadByte(hay + i)
 			if f != nil {
 				return nativevm.Value{}, f
@@ -196,6 +202,9 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 		// The delimiter scan reads the set string unchecked — this is the
 		// strtok blind spot of Fig. 11 on native tools.
 		for j := uint64(0); ; j++ {
+			if err := m.ChargeSteps(1); err != nil {
+				return false, err
+			}
 			d, f := m.Mem.LoadByte(set + j)
 			if f != nil {
 				return false, f

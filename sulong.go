@@ -20,9 +20,12 @@
 package sulong
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -94,8 +97,17 @@ type Config struct {
 	// default; modules it returns are shared and must not be mutated.
 	NoCache bool
 
-	// MaxSteps bounds execution (0 = engine default).
+	// MaxSteps bounds execution (0 = engine default). The budget is
+	// enforced in every tier: the tier-0 interpreters charge one step per
+	// instruction, tier-1 compiled code charges per basic block, and libc
+	// fast paths charge data-proportional work. Exhaustion surfaces as a
+	// *core.LimitError — deterministic for a given program and budget.
 	MaxSteps int64
+	// Timeout bounds wall-clock execution (0 = none). Enforcement is
+	// cooperative: a watchdog stops the run's governor, which every engine
+	// polls at basic-block boundaries; expiry surfaces as a
+	// *core.DeadlineError. Use RunCtx for caller-driven cancellation.
+	Timeout time.Duration
 	// DetectLeaks turns on leak reporting at exit (managed engine only).
 	DetectLeaks bool
 	// DetectUseAfterReturn reports accesses to stack objects of functions
@@ -162,11 +174,19 @@ func ResetCache() { pipeline.Default.Reset() }
 // written in C; the native family compiles only the user program (their
 // libc is precompiled) and runs it through the optimizer at cfg.OptLevel.
 func Run(src string, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), src, cfg)
+}
+
+// RunCtx is Run with caller-driven cancellation: when ctx is cancelled (or
+// its deadline passes), the run's governor is stopped and every engine
+// returns a *core.DeadlineError at its next basic-block boundary. ctx also
+// composes with cfg.Timeout — whichever fires first wins.
+func RunCtx(ctx context.Context, src string, cfg Config) (Result, error) {
 	mod, err := CompileFor(src, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunModule(mod, cfg)
+	return RunModuleCtx(ctx, mod, cfg)
 }
 
 // CompileFor compiles src the way cfg.Engine's toolchain would, through the
@@ -194,22 +214,45 @@ func CompileFor(src string, cfg Config) (*ir.Module, error) {
 
 // RunModule executes an already-compiled module under the configured engine.
 func RunModule(mod *ir.Module, cfg Config) (Result, error) {
+	return RunModuleCtx(context.Background(), mod, cfg)
+}
+
+// RunModuleCtx executes an already-compiled module with cancellation.
+//
+// This is the execution governor's containment boundary: engine panics
+// (interpreter, tier-1 compiler, or simulated machine bugs — never guest
+// program behavior) are recovered and returned as a *core.InternalError
+// instead of killing the process, so one bad case cannot take down a whole
+// evaluation matrix.
+func RunModuleCtx(ctx context.Context, mod *ir.Module, cfg Config) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &core.InternalError{Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
+	var gov *core.Governor
+	if cfg.Timeout > 0 || (ctx != nil && ctx.Done() != nil) {
+		gov = &core.Governor{}
+		release := gov.Watch(ctx, cfg.Timeout)
+		defer release()
+	}
 	switch cfg.Engine {
 	case EngineSafeSulong:
-		return runManaged(mod, cfg)
+		return runManaged(mod, cfg, gov)
 	case EngineNative, EngineASan, EngineMemcheck:
-		return runNativeFamily(mod, cfg)
+		return runNativeFamily(mod, cfg, gov)
 	}
 	return Result{}, fmt.Errorf("sulong: unknown engine %d", cfg.Engine)
 }
 
-func runManaged(mod *ir.Module, cfg Config) (Result, error) {
+func runManaged(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) {
 	ecfg := core.Config{
 		Args:                 cfg.Args,
 		Env:                  cfg.Env,
 		Stdin:                cfg.Stdin,
 		Stdout:               cfg.Stdout,
 		MaxSteps:             cfg.MaxSteps,
+		Governor:             gov,
 		DetectLeaks:          cfg.DetectLeaks,
 		DetectUseAfterReturn: cfg.DetectUseAfterReturn,
 		OnCompile:            cfg.OnCompile,
