@@ -9,7 +9,7 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck bench clean
 
 check: fmt vet build test race
 
@@ -39,6 +39,14 @@ race:
 # polling the governor, this target times out instead of `make test`.
 hangcheck:
 	$(GO) test -race -timeout 120s -run 'Governor|Timeout|Deadline|Limit|Hang|Spin|Tier1|RunCtx|Ungetc|PanicContainment|ForEachPropagates|Degrades' ./...
+
+# Diagnostics gate: the tier-parity sweep (full corpus under Safe Sulong,
+# JIT off vs on, rendered diagnostics byte-identical) plus the cross-tool
+# heap-blame check, under the race detector — the persistent stacks are
+# shared across captured diagnostics and worker goroutines, so this must
+# stay race-clean.
+diagcheck:
+	$(GO) test -race -timeout 120s -run 'TierParity|HeapBlame|Diag' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

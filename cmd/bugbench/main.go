@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	sulong "repro"
@@ -45,6 +46,10 @@ type matrixReport struct {
 	MissedBoth  []string          `json:"foundOnlyBySafeSulong"`
 	Timeouts    []string          `json:"timeouts,omitempty"`
 	Cache       sulongCacheReport `json:"cache"`
+	// Diagnostics carries every cell's structured report (kind, message,
+	// tool/tier provenance, access/alloc/free backtraces) in deterministic
+	// (case, tool) order — byte-identical at any -parallel worker count.
+	Diagnostics []harness.CellDiagnostic `json:"diagnostics"`
 }
 
 type sulongCacheReport struct {
@@ -96,7 +101,14 @@ func main() {
 			c.Name, c.Category, c.Access, c.Direction, c.Mem, c.Source)
 		for _, tool := range harness.Tools() {
 			cell := harness.RunCaseWith(c, tool, budget)
-			fmt.Printf("  %-14s %-9s %s\n", tool, cell.Status(), cell.Report)
+			if cell.Diag != nil {
+				// Render the full diagnostic: message plus the access /
+				// allocation-site / free-site backtraces (ASan-style).
+				fmt.Printf("  %-14s %-9s %s\n", tool, cell.Status(),
+					indentFollowing(cell.Diag.Render(), "  "))
+			} else {
+				fmt.Printf("  %-14s %-9s %s\n", tool, cell.Status(), cell.Report)
+			}
 		}
 	default:
 		start := time.Now()
@@ -119,6 +131,7 @@ func main() {
 				MissedBoth:  m.MissedByBoth(),
 				Timeouts:    m.Timeouts(),
 				Cache:       cacheReport(),
+				Diagnostics: m.Diagnostics(),
 			}
 			for _, tool := range harness.Tools() {
 				rep.Totals[tool.String()] = m.Totals[tool]
@@ -126,6 +139,12 @@ func main() {
 			writeJSON(*jsonOut, rep)
 		}
 	}
+}
+
+// indentFollowing indents every line after the first by extra spaces, so a
+// multi-line backtrace stays aligned under its table row.
+func indentFollowing(s, extra string) string {
+	return strings.ReplaceAll(s, "\n", "\n                           "+extra)
 }
 
 func writeJSON(path string, v any) {

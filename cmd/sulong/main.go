@@ -4,13 +4,18 @@
 // Usage:
 //
 //	sulong [-engine safe|native|asan|memcheck] [-O 0|3] [-emit-ir]
-//	       [-jit] [-leaks] file.c [program args...]
+//	       [-jit] [-leaks] [-json report.json] file.c [program args...]
+//
+// Memory-error reports render with their backtraces: the access call stack
+// plus, for heap errors, the allocation-site and free-site stacks (the
+// ASan report shape). -json additionally writes the structured diagnostics.
 //
 // Exit status: the program's exit code; 2 on compile errors; 1 when a
 // memory error or machine fault was reported.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ func main() {
 	leaks := flag.Bool("leaks", false, "report unfreed heap objects at exit (safe engine)")
 	uar := flag.Bool("use-after-return", false, "detect accesses to stack objects of returned functions (safe engine)")
 	runIR := flag.Bool("ir", false, "treat the input as an SIR module instead of C source")
+	jsonOut := flag.String("json", "", "write the run's structured diagnostics to this file")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -76,7 +82,7 @@ func main() {
 			os.Exit(2)
 		}
 		res, err := sulong.RunModule(mod, cfg)
-		finish(res, err, *engine)
+		finish(res, err, *engine, *jsonOut)
 		return
 	}
 
@@ -91,16 +97,32 @@ func main() {
 	}
 
 	res, err := sulong.Run(string(src), cfg)
-	finish(res, err, *engine)
+	finish(res, err, *engine, *jsonOut)
 }
 
-func finish(res sulong.Result, err error, engine string) {
+func finish(res sulong.Result, err error, engine, jsonOut string) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sulong:", err)
 		os.Exit(2)
 	}
+	if jsonOut != "" {
+		data, jerr := json.MarshalIndent(res.Diagnostics, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "sulong:", jerr)
+			os.Exit(2)
+		}
+	}
 	if res.Bug != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", engine, res.Bug)
+		// Render the full diagnostic when backtraces are available: the
+		// message plus the access / allocation-site / free-site stacks.
+		if len(res.Diagnostics) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", engine, res.Diagnostics[0].Render())
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", engine, res.Bug)
+		}
 		os.Exit(1)
 	}
 	if res.Fault != nil {

@@ -95,8 +95,10 @@ func runNativeFamily(mod *ir.Module, cfg Config, gov *core.Governor) (Result, er
 		case *nativevm.GlibcAbort:
 			res.Fault = e
 		default:
+			res.collectDiagnostics(cfg.Engine.String(), "native")
 			return res, runErr
 		}
 	}
+	res.collectDiagnostics(cfg.Engine.String(), "native")
 	return res, nil
 }

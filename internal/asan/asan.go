@@ -16,6 +16,7 @@ package asan
 
 import (
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/nativemem"
 	"repro/internal/nativevm"
 )
@@ -71,10 +72,29 @@ type Tool struct {
 	// (range checks, poisoning) against the run's step budget so
 	// instrumented bulk operations honor the execution governor.
 	fuel func(n int64)
+
+	// stack, when set by the machine, captures the guest backtrace at the
+	// current instruction; allocStacks/freeStacks remember the malloc and
+	// free sites of heap blocks (real ASan stores these in the chunk
+	// header), so use-after-free and double-free reports carry both.
+	stack       func() diag.Stack
+	allocStacks map[uint64]diag.Stack
+	freeStacks  map[uint64]diag.Stack
 }
 
 // SetFuel installs the machine's fuel account (nativevm wires this up).
 func (t *Tool) SetFuel(f func(n int64)) { t.fuel = f }
+
+// SetStackSource installs the machine's shadow call stack (nativevm wires
+// this up, like SetFuel).
+func (t *Tool) SetStackSource(f func() diag.Stack) { t.stack = f }
+
+func (t *Tool) capture() diag.Stack {
+	if t.stack != nil {
+		return t.stack()
+	}
+	return diag.Stack{}
+}
 
 func (t *Tool) charge(n int64) {
 	if t.fuel != nil && n > 0 {
@@ -85,10 +105,12 @@ func (t *Tool) charge(n int64) {
 // New builds an ASan tool.
 func New(opts Options) *Tool {
 	return &Tool{
-		opts:      opts,
-		shadow:    map[uint64][]byte{},
-		live:      map[uint64]int64{},
-		freedSize: map[uint64]int64{},
+		opts:        opts,
+		shadow:      map[uint64][]byte{},
+		live:        map[uint64]int64{},
+		freedSize:   map[uint64]int64{},
+		allocStacks: map[uint64]diag.Stack{},
+		freeStacks:  map[uint64]diag.Stack{},
 	}
 }
 
@@ -121,7 +143,7 @@ func (t *Tool) setState(addr uint64, size int64, s byte) {
 	}
 }
 
-func report(s byte, addr uint64, size int64, acc core.AccessKind) *core.BugError {
+func (t *Tool) report(s byte, addr uint64, size int64, acc core.AccessKind) *core.BugError {
 	be := &core.BugError{Access: acc, Size: size, Func: "asan"}
 	switch s {
 	case shadowFreed:
@@ -139,7 +161,36 @@ func report(s byte, addr uint64, size int64, acc core.AccessKind) *core.BugError
 	default:
 		return nil
 	}
+	be.AccessStack = t.capture()
+	t.blameHeapBlock(be, addr)
 	return be
+}
+
+// blameHeapBlock attaches allocation/free-site backtraces when the faulting
+// address falls inside a tracked heap block or its redzones — the lookup
+// real ASan does against its chunk headers when printing a report.
+func (t *Tool) blameHeapBlock(be *core.BugError, addr uint64) {
+	switch be.Kind {
+	case core.UseAfterFree:
+		for base, size := range t.freedSize {
+			if addr >= base && addr < base+uint64(size) {
+				be.AllocStack = t.allocStacks[base]
+				be.FreeStack = t.freeStacks[base]
+				return
+			}
+		}
+	case core.OutOfBounds:
+		if be.Mem != core.HeapMem {
+			return
+		}
+		rz := uint64(t.opts.HeapRedzone)
+		for base, size := range t.live {
+			if addr+rz >= base && addr < base+uint64(size)+rz {
+				be.AllocStack = t.allocStacks[base]
+				return
+			}
+		}
+	}
 }
 
 // check validates an access ASan-style: the shadow of the first and last
@@ -166,20 +217,20 @@ func (t *Tool) check(addr uint64, size int64, acc core.AccessKind) *core.BugErro
 			t.cachePage, t.cacheBuf = idx, pg
 		}
 		if s := pg[addr%nativemem.PageSize]; s != shadowValid {
-			return report(s, addr, size, acc)
+			return t.report(s, addr, size, acc)
 		}
 		if size > 1 {
 			if s := pg[last%nativemem.PageSize]; s != shadowValid {
-				return report(s, addr, size, acc)
+				return t.report(s, addr, size, acc)
 			}
 		}
 		return nil
 	}
-	if be := report(t.state(addr), addr, size, acc); be != nil {
+	if be := t.report(t.state(addr), addr, size, acc); be != nil {
 		return be
 	}
 	if size > 1 {
-		if be := report(t.state(last), addr, size, acc); be != nil {
+		if be := t.report(t.state(last), addr, size, acc); be != nil {
 			return be
 		}
 	}
@@ -200,7 +251,7 @@ func (t *Tool) Store(addr uint64, size int64) *core.BugError {
 func (t *Tool) CheckRange(addr uint64, size int64, acc core.AccessKind) *core.BugError {
 	t.charge(size / 8)
 	for i := int64(0); i < size; i++ {
-		if be := report(t.state(addr+uint64(i)), addr+uint64(i), 1, acc); be != nil {
+		if be := t.report(t.state(addr+uint64(i)), addr+uint64(i), 1, acc); be != nil {
 			return be
 		}
 	}
@@ -254,6 +305,8 @@ func (a *asanAlloc) Malloc(size int64) uint64 {
 	t.setState(addr, size, shadowValid)
 	t.setState(addr+uint64(size), rz, shadowHeapRedzone)
 	t.live[addr] = size
+	t.allocStacks[addr] = t.capture()
+	delete(t.freeStacks, addr) // block re-allocated: old free site is stale
 	return addr
 }
 
@@ -262,12 +315,14 @@ func (a *asanAlloc) Free(addr uint64) error {
 	size, ok := t.live[addr]
 	if !ok {
 		if _, inQuarantine := t.freedSize[addr]; inQuarantine {
-			return &core.BugError{Kind: core.DoubleFree, Access: core.Free, Mem: core.HeapMem, Func: "asan"}
+			return &core.BugError{Kind: core.DoubleFree, Access: core.Free, Mem: core.HeapMem, Func: "asan",
+				AccessStack: t.capture(), AllocStack: t.allocStacks[addr], FreeStack: t.freeStacks[addr]}
 		}
-		return &core.BugError{Kind: core.InvalidFree, Access: core.Free, Func: "asan"}
+		return &core.BugError{Kind: core.InvalidFree, Access: core.Free, Func: "asan", AccessStack: t.capture()}
 	}
 	delete(t.live, addr)
 	t.freedSize[addr] = size
+	t.freeStacks[addr] = t.capture()
 	t.setState(addr, size, shadowFreed)
 	t.quarantine = append(t.quarantine, addr)
 	t.quarBytes += size
@@ -281,6 +336,8 @@ func (a *asanAlloc) Free(addr uint64) error {
 			continue
 		}
 		delete(t.freedSize, old)
+		delete(t.allocStacks, old)
+		delete(t.freeStacks, old)
 		t.quarBytes -= osize
 		t.setState(old, osize, shadowValid)
 		t.inner.Free(old - uint64(t.opts.HeapRedzone))

@@ -14,6 +14,7 @@ type value struct {
 
 // expr generates code for an expression and returns its rvalue.
 func (g *fnGen) expr(e Expr) (value, error) {
+	g.at(posOf(e))
 	switch v := e.(type) {
 	case *IntLit:
 		ty := tyInt
@@ -107,6 +108,7 @@ func (g *fnGen) loadOrDecay(addr ir.Operand, ty *CType) (value, error) {
 
 // addr computes an lvalue address, returning the operand and the object type.
 func (g *fnGen) addr(e Expr) (ir.Operand, *CType, error) {
+	g.at(posOf(e))
 	switch v := e.(type) {
 	case *Ident:
 		if l := g.lookup(v.Name); l != nil {

@@ -42,12 +42,61 @@ type fnGen struct {
 	gotos     []pendingGoto
 
 	staticIdx int
+
+	// line is the source line of the statement/expression currently being
+	// lowered. emit stamps it on every instruction that was not given an
+	// explicit Line, so diagnostics never see Line == 0 inside a function
+	// body (calls, branches, frees, loads, spills — everything).
+	line int
+}
+
+// at advances the current source line. Positions without line info (Pos{})
+// leave the last known line in place, so synthesized instructions inherit
+// the nearest enclosing source location.
+func (g *fnGen) at(pos Pos) {
+	if pos.Line > 0 {
+		g.line = pos.Line
+	}
+}
+
+// stmtPos extracts a statement's source position.
+func stmtPos(s Stmt) Pos {
+	switch v := s.(type) {
+	case *ExprStmt:
+		return v.Pos
+	case *DeclStmt:
+		return v.Pos
+	case *Block:
+		return v.Pos
+	case *If:
+		return v.Pos
+	case *While:
+		return v.Pos
+	case *For:
+		return v.Pos
+	case *Return:
+		return v.Pos
+	case *Break:
+		return v.Pos
+	case *Continue:
+		return v.Pos
+	case *Switch:
+		return v.Pos
+	case *Case:
+		return v.Pos
+	case *Label:
+		return v.Pos
+	case *Goto:
+		return v.Pos
+	}
+	return Pos{}
 }
 
 func (cg *codegen) function(fd *FuncDecl) error {
 	f := &ir.Func{Name: fd.Name, Sig: sigIR(fd.Sig), SourceFile: cg.file}
 	f.Blocks = []*ir.Block{{Name: "entry"}}
 	g := &fnGen{cg: cg, f: f, sig: fd.Sig, labels: map[string]int{}}
+	g.at(fd.Pos) // parameter spills carry the function's own line
 	g.pushScope()
 	// Parameters arrive in registers 0..n-1; spill each into an alloca so
 	// that &param works and all locals are uniform.
@@ -103,6 +152,9 @@ func (g *fnGen) terminated() bool {
 }
 
 func (g *fnGen) emit(in ir.Instr) {
+	if in.Line == 0 {
+		in.Line = g.line
+	}
 	if g.terminated() {
 		// Unreachable code after return/break: park it in a fresh block so
 		// the IR stays well formed.
@@ -120,7 +172,7 @@ func (g *fnGen) newBlock(prefix string) int {
 // br terminates the current block with a jump if it is not already terminated.
 func (g *fnGen) br(target int) {
 	if !g.terminated() {
-		g.cur().Instrs = append(g.cur().Instrs, ir.Instr{Op: ir.OpBr, Blk0: target})
+		g.cur().Instrs = append(g.cur().Instrs, ir.Instr{Op: ir.OpBr, Blk0: target, Line: g.line})
 	}
 }
 
@@ -147,13 +199,13 @@ func (g *fnGen) sealFunction() {
 		g.curIdx = i
 		switch rt := g.sig.Ret; {
 		case rt.Kind == CVoid:
-			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet})
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Line: g.line})
 		case rt.Kind == CFloat:
-			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Ty: rt.IR(), A: ir.ConstFloat(0, rt.IR())})
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Ty: rt.IR(), A: ir.ConstFloat(0, rt.IR()), Line: g.line})
 		case rt.Kind == CPtr:
-			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Ty: rt.IR(), A: ir.Null()})
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Ty: rt.IR(), A: ir.Null(), Line: g.line})
 		default:
-			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Ty: rt.IR(), A: ir.ConstInt(0, rt.IR())})
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, Ty: rt.IR(), A: ir.ConstInt(0, rt.IR()), Line: g.line})
 		}
 	}
 }
@@ -168,6 +220,7 @@ func (g *fnGen) stmts(list []Stmt) error {
 }
 
 func (g *fnGen) stmt(s Stmt) error {
+	g.at(stmtPos(s))
 	switch st := s.(type) {
 	case *ExprStmt:
 		if st.X == nil {
@@ -383,7 +436,7 @@ func (g *fnGen) switchStmt(st *Switch) error {
 	}
 	// Seal any dangling pre-case block.
 	g.f.Blocks[dispatch].Instrs = append(g.f.Blocks[dispatch].Instrs,
-		ir.Instr{Op: ir.OpSwitch, Ty: ir.I64, A: scrut.op, Blk0: defaultB, Cases: cases})
+		ir.Instr{Op: ir.OpSwitch, Ty: ir.I64, A: scrut.op, Blk0: defaultB, Cases: cases, Line: st.Pos.Line})
 	g.setBlock(endB)
 	return nil
 }

@@ -69,12 +69,16 @@ func biMalloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 const maxHeapAlloc = 1 << 31
 
 // AllocHeap creates a managed heap object (exposed for builtins/tests).
-// Oversized requests return the null pointer.
+// Oversized requests return the null pointer. The engine call stack at the
+// allocation becomes the object's allocation-site backtrace: the malloc call
+// edge is pushed before builtin dispatch, so the stack's top frame is the
+// caller at the malloc call line — recording it is one pointer copy.
 func (e *Engine) AllocHeap(size int64, name string) Pointer {
 	if size < 0 || size > maxHeapAlloc {
 		return Pointer{}
 	}
 	obj := NewObject(size, HeapMem, name, e.id())
+	obj.AllocStack = e.callStack
 	e.stats.Allocs++
 	e.heap = append(e.heap, obj)
 	return Pointer{Obj: obj}
@@ -94,7 +98,7 @@ func biRealloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 	if be := checkFreeable(p); be != nil {
 		be.Access = Free
 		be.Func = "realloc"
-		return Value{}, be
+		return Value{}, e.frameErr(fr, be)
 	}
 	old := p.Obj
 	np := e.AllocHeap(size, "realloc")
@@ -104,10 +108,10 @@ func biRealloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 	}
 	if n > 0 {
 		if be := copyManaged(np.Obj, 0, old, 0, n); be != nil {
-			return Value{}, be
+			return Value{}, e.frameErr(fr, be)
 		}
 	}
-	old.Free()
+	old.FreeWith(e.callStack)
 	e.stats.Frees++
 	return Value{P: np}, nil
 }
@@ -121,13 +125,16 @@ func checkFreeable(p Pointer) *BugError {
 		return &BugError{Kind: InvalidFree, Access: Free}
 	}
 	if p.Obj.Mem != HeapMem {
-		return &BugError{Kind: InvalidFree, Access: Free, Mem: p.Obj.Mem, Obj: p.Obj.Name, ObjSize: p.Obj.Size()}
+		return &BugError{Kind: InvalidFree, Access: Free, Mem: p.Obj.Mem, Obj: p.Obj.Name, ObjSize: p.Obj.Size(),
+			AllocStack: p.Obj.AllocStack}
 	}
 	if p.Off != 0 {
-		return &BugError{Kind: InvalidFree, Access: Free, Off: p.Off, Mem: p.Obj.Mem, Obj: p.Obj.Name, ObjSize: p.Obj.Size()}
+		return &BugError{Kind: InvalidFree, Access: Free, Off: p.Off, Mem: p.Obj.Mem, Obj: p.Obj.Name, ObjSize: p.Obj.Size(),
+			AllocStack: p.Obj.AllocStack}
 	}
 	if p.Obj.Freed {
-		return &BugError{Kind: DoubleFree, Access: Free, Mem: p.Obj.Mem, Obj: p.Obj.Name, ObjSize: p.Obj.Size()}
+		return &BugError{Kind: DoubleFree, Access: Free, Mem: p.Obj.Mem, Obj: p.Obj.Name, ObjSize: p.Obj.Size(),
+			AllocStack: p.Obj.AllocStack, FreeStack: p.Obj.FreeStack}
 	}
 	return nil
 }
@@ -138,12 +145,9 @@ func biFree(e *Engine, fr *Frame, args []Value) (Value, error) {
 		return Value{}, nil // free(NULL) is defined to do nothing
 	}
 	if be := checkFreeable(p); be != nil {
-		if fr != nil {
-			be.Func = fr.Fn.Name
-		}
-		return Value{}, be
+		return Value{}, e.frameErr(fr, be)
 	}
-	p.Obj.Free()
+	p.Obj.FreeWith(e.callStack)
 	e.stats.Frees++
 	return Value{}, nil
 }
@@ -225,7 +229,22 @@ func biMemsetIntrinsic(e *Engine, fr *Frame, args []Value) (Value, error) {
 	return Value{}, nil
 }
 
+// frameErr locates a builtin-raised error at its call site. The call edge
+// is pushed onto the engine call stack before builtin dispatch, so the
+// stack's top frame already names the caller at the call line — the stack
+// is recorded as-is, with no synthesized leaf frame (both tiers share this
+// path, so their builtin diagnostics match byte for byte).
 func (e *Engine) frameErr(fr *Frame, be *BugError) *BugError {
+	if f, ok := e.callStack.Top(); ok {
+		if be.Func == "" {
+			be.Func = f.Func
+			be.Line = f.Line
+		}
+		if be.AccessStack.IsEmpty() {
+			be.AccessStack = e.callStack
+		}
+		return be
+	}
 	if fr != nil {
 		return e.located(be, fr.Fn.Name, 0)
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 )
 
@@ -114,6 +115,15 @@ type Engine struct {
 	envObjs map[string]*Object
 	stats   Stats
 
+	// callStack is the live guest call stack: one frame per active call,
+	// holding the *caller's* function and the call-site line. It is a
+	// persistent diag.Stack, so maintaining it is one node allocation per
+	// call and capturing it (at a fault, malloc, alloca, or free) is one
+	// pointer copy — cheap enough to stay on in peak-performance runs.
+	// Both tiers push and pop at exactly the same points, which is what
+	// makes tier-0 and tier-1 diagnostics byte-identical.
+	callStack diag.Stack
+
 	// Writer for captured output when none is configured.
 	sink strings.Builder
 }
@@ -172,6 +182,41 @@ func (e *Engine) ChargeSteps(n int64) error {
 		return e.gov.Err()
 	}
 	return nil
+}
+
+// PushCall records a call edge: the caller's function and the call-site
+// line. Every executor (tier-0 interpreter, tier-1 compiled closures) pushes
+// before transferring control — including to builtins — and pops after, so
+// the stack is identical whichever tier executes the caller. O(1).
+func (e *Engine) PushCall(fn string, line int) {
+	e.callStack = e.callStack.Push(diag.Frame{Func: fn, Line: line})
+}
+
+// PopCall removes the innermost call edge.
+func (e *Engine) PopCall() { e.callStack = e.callStack.Pop() }
+
+// CallStack returns the live guest call stack (innermost caller first).
+// The returned value is immutable and safe to retain.
+func (e *Engine) CallStack() diag.Stack { return e.callStack }
+
+// CaptureStack returns the guest call stack with a synthesized leaf frame
+// for the current location — frame #0 of a backtrace. One node allocation.
+func (e *Engine) CaptureStack(fn string, line int) diag.Stack {
+	return e.callStack.Push(diag.Frame{Func: fn, Line: line})
+}
+
+// Located fills a BugError's location (function, line, access stack) if it
+// does not carry one yet, and returns it. Shared by both execution tiers so
+// reports render identically.
+func (e *Engine) Located(be *BugError, fn string, line int) *BugError {
+	if be.Func == "" {
+		be.Func = fn
+		be.Line = line
+	}
+	if be.AccessStack.IsEmpty() {
+		be.AccessStack = e.CaptureStack(be.Func, be.Line)
+	}
+	return be
 }
 
 // Stats returns a snapshot of execution counters.
@@ -390,7 +435,8 @@ func (e *Engine) Leaks() []*BugError {
 	var out []*BugError
 	for _, obj := range e.heap {
 		if !obj.Freed {
-			out = append(out, &BugError{Kind: MemoryLeak, ObjSize: obj.Size(), Mem: HeapMem, Obj: obj.Name})
+			out = append(out, &BugError{Kind: MemoryLeak, ObjSize: obj.Size(), Mem: HeapMem, Obj: obj.Name,
+				AllocStack: obj.AllocStack})
 		}
 	}
 	return out
@@ -410,13 +456,16 @@ func (e *Engine) CallIndex(idx int, args []Value) (Value, error) {
 	return e.invoke(idx, args, nil)
 }
 
-// AllocAuto creates a managed stack object (tier-1 compiled allocas).
-func (e *Engine) AllocAuto(size int64, name string, ty ir.Type) Pointer {
+// AllocAuto creates a managed stack object (tier-1 compiled allocas). fn and
+// line name the alloca's source location; the allocation-site stack is
+// captured so later out-of-bounds / use-after-return reports can print it.
+func (e *Engine) AllocAuto(size int64, name string, ty ir.Type, fn string, line int) Pointer {
 	if size < 0 {
 		size = 0
 	}
 	obj := NewObject(size, AutoMem, name, e.id())
 	obj.Ty = ty
+	obj.AllocStack = e.CaptureStack(fn, line)
 	e.stats.Allocs++
 	return Pointer{Obj: obj}
 }
@@ -426,7 +475,10 @@ func (e *Engine) AllocAuto(size int64, name string, ty ir.Type) Pointer {
 // variadic cells.
 func (e *Engine) Invoke(idx int, args []Value, varargs []Pointer, caller *Frame) (Value, error) {
 	if idx < 0 || idx >= len(e.mod.Funcs) {
-		return Value{}, fmt.Errorf("core: call to unknown function index %d", idx)
+		return Value{}, &InternalError{
+			Msg:   fmt.Sprintf("call to unknown function index %d", idx),
+			Guest: e.callStack,
+		}
 	}
 	if b := e.builtins[idx]; b != nil {
 		e.stats.Calls++
@@ -500,6 +552,9 @@ func (e *Engine) BoxVarArg(ty ir.Type, v Value, idx int) Pointer {
 	name := fmt.Sprintf("vararg %d", idx+1)
 	cell := NewObject(ty.Size(), VarargMem, name, e.id())
 	cell.Ty = ty
+	// The caller has already pushed its call edge, so the live stack names
+	// the call site that supplied this argument.
+	cell.AllocStack = e.callStack
 	switch t := ty.(type) {
 	case *ir.FloatType:
 		cell.StoreFloat(0, t.Bits, v.F, Write)

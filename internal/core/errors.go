@@ -8,7 +8,11 @@
 // category (paper §3.4) and cannot report false positives.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/diag"
+)
 
 // BugKind classifies a detected memory error, mirroring the paper's
 // categories (§2.1): spatial errors, temporal errors, NULL dereferences, and
@@ -88,6 +92,29 @@ type BugError struct {
 	Obj     string // allocation-site variable name, if known
 	Func    string // function in which the access happened
 	Line    int    // source line, if known
+
+	// AccessStack is the guest call stack at the faulting access (innermost
+	// frame first). AllocStack and FreeStack are the stacks at the involved
+	// object's allocation and free sites, when the object is known. All
+	// three are persistent diag.Stack values captured in O(1).
+	AccessStack diag.Stack
+	AllocStack  diag.Stack
+	FreeStack   diag.Stack
+}
+
+// Diagnostic converts the error to the unified diagnostics form. tool and
+// tier record provenance; tier is excluded from Diagnostic.Render, so
+// tier-0 and tier-1 produce byte-identical reports.
+func (e *BugError) Diagnostic(tool, tier string) *diag.Diagnostic {
+	return &diag.Diagnostic{
+		Kind:    e.Kind.String(),
+		Message: e.Error(),
+		Tool:    tool,
+		Tier:    tier,
+		Access:  e.AccessStack,
+		Alloc:   e.AllocStack,
+		Free:    e.FreeStack,
+	}
 }
 
 // Underflow reports whether an out-of-bounds access is before the object

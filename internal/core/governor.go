@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/diag"
 )
 
 // Governor is the cross-engine execution governor: a single cancellation
@@ -108,8 +110,19 @@ func (e *DeadlineError) Error() string { return "execution deadline exceeded: " 
 type InternalError struct {
 	Panic any
 	Stack string
+	// Msg describes an internal fault detected without panicking (reached
+	// unreachable, invalid opcode, unknown function). Structured this way,
+	// panic containment and explicit internal faults share one error path
+	// and one diagnostics surface.
+	Msg string
+	// Guest is the guest program's call stack at the internal fault, when
+	// the engine had one (explicit faults do; contained panics may not).
+	Guest diag.Stack
 }
 
 func (e *InternalError) Error() string {
+	if e.Msg != "" {
+		return "internal engine error: " + e.Msg
+	}
 	return fmt.Sprintf("internal engine error: panic: %v", e.Panic)
 }

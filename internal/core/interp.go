@@ -32,6 +32,7 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 			size := in.Ty.Size() * count
 			obj := NewObject(size, AutoMem, in.Name, e.id())
 			obj.Ty = in.Ty
+			obj.AllocStack = e.CaptureStack(f.Name, in.Line)
 			e.stats.Allocs++
 			p := Pointer{Obj: obj}
 			e.TrackAuto(fr, p)
@@ -134,10 +135,19 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 			return e.operand(fr, in.A), nil
 
 		case ir.OpUnreachable:
-			return Value{}, fmt.Errorf("core: reached unreachable in %s", f.Name)
+			// Internal faults are structured, not bare strings, so panic
+			// containment and diagnostics share one error path. The message
+			// is tier-neutral: the tier-1 compiler emits the identical one.
+			return Value{}, &InternalError{
+				Msg:   fmt.Sprintf("reached unreachable in %s", f.Name),
+				Guest: e.CaptureStack(f.Name, in.Line),
+			}
 
 		default:
-			return Value{}, fmt.Errorf("core: invalid opcode %d in %s", in.Op, f.Name)
+			return Value{}, &InternalError{
+				Msg:   fmt.Sprintf("invalid opcode %d in %s", in.Op, f.Name),
+				Guest: e.CaptureStack(f.Name, in.Line),
+			}
 		}
 		ii++
 	}
@@ -163,7 +173,10 @@ func (e *Engine) execCall(fr *Frame, in *ir.Instr) (Value, error) {
 		idx = p.FuncIndex()
 	}
 	if idx < 0 || idx >= len(e.mod.Funcs) {
-		return Value{}, fmt.Errorf("core: call to unknown function in %s", fr.Fn.Name)
+		return Value{}, &InternalError{
+			Msg:   fmt.Sprintf("call to unknown function in %s", fr.Fn.Name),
+			Guest: e.CaptureStack(fr.Fn.Name, in.Line),
+		}
 	}
 	callee := e.mod.Funcs[idx]
 
@@ -175,6 +188,12 @@ func (e *Engine) execCall(fr *Frame, in *ir.Instr) (Value, error) {
 	for i := 0; i < nFixed; i++ {
 		args = append(args, e.operand(fr, in.Args[i]))
 	}
+	// The call edge is pushed before variadic boxing so the cells' recorded
+	// allocation stacks name this call site, and before builtin dispatch so
+	// faults inside malloc/free/memcpy capture the caller. The tier-1
+	// compiled call sequence mirrors this ordering exactly.
+	e.PushCall(fr.Fn.Name, in.Line)
+	defer e.PopCall()
 	var cells []Pointer
 	if len(in.Args) > nFixed {
 		cells = make([]Pointer, 0, len(in.Args)-nFixed)
@@ -332,13 +351,9 @@ func (e *Engine) operand(fr *Frame, o ir.Operand) Value {
 // Operand exposes operand resolution to the tier-1 compiler.
 func (e *Engine) Operand(fr *Frame, o ir.Operand) Value { return e.operand(fr, o) }
 
-// located fills function/line context into a bug report.
+// located fills function/line context into a bug report (see Located).
 func (e *Engine) located(be *BugError, fn string, line int) *BugError {
-	if be.Func == "" {
-		be.Func = fn
-		be.Line = line
-	}
-	return be
+	return e.Located(be, fn, line)
 }
 
 func intBits(t ir.Type) int {

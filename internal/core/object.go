@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 )
 
@@ -42,6 +43,14 @@ type Object struct {
 
 	// Ty is the allocation's IR type if known (diagnostics only).
 	Ty ir.Type
+
+	// AllocStack is the guest call stack at the allocation site and
+	// FreeStack the stack at the free (or frame pop) that retired the
+	// object. Both are persistent diag.Stack values — recording them is one
+	// pointer copy — and both flow into every BugError that blames this
+	// object, giving reports their "allocated by / freed by" backtraces.
+	AllocStack diag.Stack
+	FreeStack  diag.Stack
 
 	// size is kept separately from len(Data) so freed objects still report
 	// their allocated size in error messages.
@@ -110,10 +119,12 @@ func (o *Object) access(off, size int64, acc AccessKind) *BugError {
 		if o.Returned {
 			kind = UseAfterReturn
 		}
-		return &BugError{Kind: kind, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name}
+		return &BugError{Kind: kind, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name,
+			AllocStack: o.AllocStack, FreeStack: o.FreeStack}
 	}
 	if off < 0 || off+size > int64(len(o.Data)) {
-		return &BugError{Kind: OutOfBounds, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name}
+		return &BugError{Kind: OutOfBounds, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name,
+			AllocStack: o.AllocStack}
 	}
 	return nil
 }
@@ -142,7 +153,7 @@ func (o *Object) LoadInt(off, size int64, acc AccessKind) (int64, *BugError) {
 	if _, bad := o.overlapsPtr(off, size); bad {
 		// Reading pointer bytes as an integer would let the program forge
 		// or leak addresses; the paper's model disallows it (§3.2).
-		return 0, &BugError{Kind: TypeViolation, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name}
+		return 0, &BugError{Kind: TypeViolation, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name, AllocStack: o.AllocStack}
 	}
 	var v uint64
 	for i := int64(0); i < size; i++ {
@@ -198,7 +209,7 @@ func (o *Object) LoadPtr(off int64, acc AccessKind) (Pointer, *BugError) {
 		return p, nil
 	}
 	if _, bad := o.overlapsPtr(off, 8); bad {
-		return Pointer{}, &BugError{Kind: TypeViolation, Access: acc, Off: off, Size: 8, ObjSize: o.size, Mem: o.Mem, Obj: o.Name}
+		return Pointer{}, &BugError{Kind: TypeViolation, Access: acc, Off: off, Size: 8, ObjSize: o.size, Mem: o.Mem, Obj: o.Name, AllocStack: o.AllocStack}
 	}
 	allZero := true
 	for i := int64(0); i < 8; i++ {
@@ -210,7 +221,7 @@ func (o *Object) LoadPtr(off int64, acc AccessKind) (Pointer, *BugError) {
 	if allZero {
 		return Pointer{}, nil
 	}
-	return Pointer{}, &BugError{Kind: TypeViolation, Access: acc, Off: off, Size: 8, ObjSize: o.size, Mem: o.Mem, Obj: o.Name}
+	return Pointer{}, &BugError{Kind: TypeViolation, Access: acc, Off: off, Size: 8, ObjSize: o.size, Mem: o.Mem, Obj: o.Name, AllocStack: o.AllocStack}
 }
 
 // StorePtr writes a pointer at off (must be within bounds; unaligned pointer
@@ -247,6 +258,13 @@ func (o *Object) InvalidateReturned() {
 	o.Ptrs = nil
 	o.Freed = true
 	o.Returned = true
+}
+
+// FreeWith is Free plus a record of the free-site call stack, which later
+// use-after-free / double-free reports print as their "freed by" backtrace.
+func (o *Object) FreeWith(st diag.Stack) {
+	o.FreeStack = st
+	o.Free()
 }
 
 // Free releases a heap object (paper Fig. 7/8 semantics): the data reference

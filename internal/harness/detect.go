@@ -16,6 +16,7 @@ import (
 	sulong "repro"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/diag"
 	"repro/internal/nativemem"
 )
 
@@ -83,6 +84,11 @@ type Detection struct {
 	// same as an infrastructure failure.
 	Timeout  bool
 	RunError string // infrastructure failure (should be empty)
+	// Diag is the structured diagnostic behind Report when the tool produced
+	// one: kind, tool/tier provenance, and the access / allocation-site /
+	// free-site backtraces. Deterministic at any matrix worker count (cells
+	// are index-addressed, and each cell's run is self-contained).
+	Diag *diag.Diagnostic
 }
 
 // Status renders the cell's classification for tables and CLIs.
@@ -171,6 +177,9 @@ func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 	if res.Bug != nil {
 		d.Detected = true
 		d.Report = res.Bug.Error()
+		if len(res.Diagnostics) > 0 {
+			d.Diag = res.Diagnostics[0]
+		}
 		return d
 	}
 	if res.Fault != nil {
@@ -231,6 +240,29 @@ func (m *MatrixResult) Timeouts() []string {
 		for _, tool := range Tools() {
 			if m.Cells[c.Name][tool].Timeout {
 				out = append(out, fmt.Sprintf("%s / %s", c.Name, tool))
+			}
+		}
+	}
+	return out
+}
+
+// CellDiagnostic pairs one matrix cell's structured diagnostic with its
+// coordinates, for machine-readable reports.
+type CellDiagnostic struct {
+	Case string           `json:"case"`
+	Tool string           `json:"tool"`
+	Diag *diag.Diagnostic `json:"diagnostic"`
+}
+
+// Diagnostics lists every cell's structured diagnostic in deterministic
+// (case, tool) order — the same at any worker count, since cells are
+// index-addressed and each cell's run is self-contained.
+func (m *MatrixResult) Diagnostics() []CellDiagnostic {
+	var out []CellDiagnostic
+	for _, c := range m.Cases {
+		for _, tool := range Tools() {
+			if d := m.Cells[c.Name][tool].Diag; d != nil {
+				out = append(out, CellDiagnostic{Case: c.Name, Tool: tool.String(), Diag: d})
 			}
 		}
 	}

@@ -663,8 +663,30 @@ type target struct {
 }
 
 // instr parses one instruction. Branch targets come back as names in targets.
+// A trailing "!line N" annotation restores the instruction's source-line
+// metadata; without one, Line stays 0 ("unknown") instead of being repointed
+// at the IR-text token line, so diagnostics survive a print/parse round trip.
 func (p *parser) instr(f *Func) (Instr, []target, error) {
-	in := Instr{Dst: -1, Line: p.tok().line}
+	in, targets, err := p.instrBody(f)
+	if err != nil {
+		return in, targets, err
+	}
+	if p.tok().kind == tPunct && p.tok().s == "!" {
+		p.advance()
+		if err := p.expectIdent("line"); err != nil {
+			return in, targets, err
+		}
+		n, err := p.intLit()
+		if err != nil {
+			return in, targets, err
+		}
+		in.Line = int(n)
+	}
+	return in, targets, nil
+}
+
+func (p *parser) instrBody(f *Func) (Instr, []target, error) {
+	in := Instr{Dst: -1}
 	var targets []target
 
 	// Destination form: %rN = ...

@@ -78,6 +78,12 @@ func printFunc(b *strings.Builder, f *Func) {
 		for i := range blk.Instrs {
 			b.WriteString("  ")
 			printInstr(b, f, &blk.Instrs[i])
+			// Source-line metadata rides along as a "!line N" suffix so
+			// diagnostics survive a print/parse round trip (without it the
+			// parser would repoint Line at the IR-text token line).
+			if blk.Instrs[i].Line > 0 {
+				fmt.Fprintf(b, " !line %d", blk.Instrs[i].Line)
+			}
 			b.WriteString("\n")
 		}
 		_ = bi

@@ -109,6 +109,67 @@ func TestRandomizedRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLineMetadataRoundTrip asserts that source-line metadata survives
+// print -> parse on every instruction form, including the bin/cast forms
+// (which return early in the parser) and terminators. Historically Print
+// dropped Line and Parse repointed it at the IR-text token line, so a
+// round-tripped module produced diagnostics with wrong line numbers.
+func TestLineMetadataRoundTrip(t *testing.T) {
+	f := &Func{Name: "f", Sig: &FuncType{Ret: I64, Params: []Type{I64, I64}}}
+	f.NumRegs = 2
+	b0 := &Block{Name: "b0"}
+	b0.Instrs = []Instr{
+		{Op: OpAlloca, Dst: f.NewReg(), Ty: I64, Name: "x", Line: 2},
+		{Op: OpStore, Ty: I64, A: Reg(0, I64), Addr: Reg(2, nil), Line: 3},
+		{Op: OpLoad, Dst: f.NewReg(), Ty: I64, Addr: Reg(2, nil), Line: 4},
+		{Op: OpBin, Dst: f.NewReg(), Ty: I64, Bin: Add, A: Reg(3, I64), B: Reg(1, I64), Line: 5},
+		{Op: OpCast, Dst: f.NewReg(), Cast: Trunc, Ty: I64, Ty2: I32, A: Reg(4, I64), Line: 6},
+		{Op: OpCmp, Dst: f.NewReg(), Ty: I64, Pred: Slt, A: Reg(4, I64), B: Reg(1, I64), Line: 7},
+		{Op: OpGEP, Dst: f.NewReg(), Addr: Reg(2, nil), Stride: 8, A: Reg(1, I64), Line: 8},
+		{Op: OpCall, Dst: f.NewReg(), Ty: I64, Callee: FuncRef("f"),
+			Args: []Operand{Reg(4, I64), Reg(1, I64)}, FixedArgs: 2, Line: 9},
+		{Op: OpCondBr, A: Reg(6, I64), Blk0: 1, Blk1: 1, Line: 10},
+	}
+	b1 := &Block{Name: "b1"}
+	b1.Instrs = []Instr{
+		{Op: OpRet, Ty: I64, A: Reg(8, I64), Line: 11},
+	}
+	f.Blocks = []*Block{b0, b1}
+	m := NewModule("lines")
+	m.AddFunc(f)
+	if err := Verify(m); err != nil {
+		t.Fatalf("module invalid: %v", err)
+	}
+	text1 := Print(m)
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text1)
+	}
+	f2 := m2.Funcs[0]
+	for bi, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			want := blk.Instrs[i].Line
+			got := f2.Blocks[bi].Instrs[i].Line
+			if got != want {
+				t.Errorf("block %d instr %d: Line = %d after round trip, want %d",
+					bi, i, got, want)
+			}
+		}
+	}
+	if text2 := Print(m2); text1 != text2 {
+		t.Fatalf("print/parse/print not a fixpoint:\n%s\n---\n%s", text1, text2)
+	}
+	// An instruction without metadata must stay at "unknown" (0), not be
+	// repointed at its IR-text line.
+	m3, err := Parse("module \"noline\"\nfunc @g fn() i64 regs 0 {\nb0:\n  ret i64 7\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m3.Funcs[0].Blocks[0].Instrs[0].Line; got != 0 {
+		t.Fatalf("unannotated instr Line = %d, want 0", got)
+	}
+}
+
 // TestArithHelpersAgainstGo cross-checks the shared ALU against Go's own
 // operators at full width.
 func TestArithHelpersAgainstGo(t *testing.T) {

@@ -204,14 +204,6 @@ func (c *Compiler) compileOperand(e *core.Engine, o ir.Operand) (getter, error) 
 	return nil, fmt.Errorf("jit: bad operand kind %d", o.Kind)
 }
 
-func locate(be *core.BugError, fn string, line int) *core.BugError {
-	if be.Func == "" {
-		be.Func = fn
-		be.Line = line
-	}
-	return be
-}
-
 func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, error) {
 	fname := f.Name
 	line := in.Line
@@ -228,14 +220,14 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 			}
 			return func(e *core.Engine, fr *core.Frame) error {
 				n := getCnt(e, fr).I
-				p := e.AllocAuto(size*n, name, ty)
+				p := e.AllocAuto(size*n, name, ty, fname, line)
 				e.TrackAuto(fr, p)
 				fr.Regs[dst] = core.PtrValue(p)
 				return nil
 			}, nil
 		}
 		return func(e *core.Engine, fr *core.Frame) error {
-			p := e.AllocAuto(size, name, ty)
+			p := e.AllocAuto(size, name, ty, fname, line)
 			e.TrackAuto(fr, p)
 			fr.Regs[dst] = core.PtrValue(p)
 			return nil
@@ -251,7 +243,7 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 		return func(e *core.Engine, fr *core.Frame) error {
 			v, be := e.LoadTyped(getAddr(e, fr).P, ty)
 			if be != nil {
-				return locate(be, fname, line)
+				return e.Located(be, fname, line)
 			}
 			fr.Regs[dst] = v
 			return nil
@@ -269,7 +261,7 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 		ty := in.Ty
 		return func(e *core.Engine, fr *core.Frame) error {
 			if be := e.StoreTyped(getAddr(e, fr).P, ty, getVal(e, fr)); be != nil {
-				return locate(be, fname, line)
+				return e.Located(be, fname, line)
 			}
 			return nil
 		}, nil
@@ -385,8 +377,14 @@ func (c *Compiler) compileTerm(e *core.Engine, f *ir.Func, in *ir.Instr) (term, 
 		}, nil
 	case ir.OpUnreachable:
 		name := f.Name
+		line := in.Line
 		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
-			return 0, core.Value{}, false, fmt.Errorf("jit: reached unreachable in %s", name)
+			// Identical message and guest stack to the tier-0 interpreter, so
+			// the two tiers classify and render this fault the same way.
+			return 0, core.Value{}, false, &core.InternalError{
+				Msg:   fmt.Sprintf("reached unreachable in %s", name),
+				Guest: e.CaptureStack(name, line),
+			}
 		}, nil
 	}
 	return nil, fmt.Errorf("jit: bad terminator %v", in.Op)

@@ -105,7 +105,7 @@ func (c *Compiler) compileBin(e *core.Engine, in *ir.Instr, fname string, line i
 	return func(e *core.Engine, fr *core.Frame) error {
 		v, ok := ir.EvalIntBin(op, b, getA(e, fr).I, getB(e, fr).I)
 		if !ok {
-			return locate(&core.BugError{Kind: core.DivideByZero}, fname, line)
+			return e.Located(&core.BugError{Kind: core.DivideByZero}, fname, line)
 		}
 		fr.Regs[dst] = core.IntValue(v)
 		return nil
@@ -251,6 +251,12 @@ func (c *Compiler) compileCall(e *core.Engine, in *ir.Instr, fname string) (step
 		for i := 0; i < nFixed; i++ {
 			args[i] = getters[i](e, fr)
 		}
+		// The call edge is pushed before variadic boxing and before builtin
+		// dispatch, mirroring the tier-0 interpreter's execCall ordering
+		// exactly: boxed cells record this call site as their allocation
+		// stack, and faults inside builtins capture the caller.
+		e.PushCall(fname, line)
+		defer e.PopCall()
 		var cells []core.Pointer
 		if len(varTypes) > 0 {
 			cells = make([]core.Pointer, len(varTypes))
@@ -281,15 +287,27 @@ func (c *Compiler) compileCall(e *core.Engine, in *ir.Instr, fname string) (step
 	if err != nil {
 		return nil, err
 	}
+	nFuncs := len(e.Module().Funcs)
 	return func(e *core.Engine, fr *core.Frame) error {
 		p := getCallee(e, fr).P
 		if p.IsNull() {
-			return locate(&core.BugError{Kind: core.NullDeref, Access: core.CallAccess}, fname, line)
+			return e.Located(&core.BugError{Kind: core.NullDeref, Access: core.CallAccess}, fname, line)
 		}
 		if !p.IsFunc() {
-			return locate(&core.BugError{Kind: core.TypeViolation, Access: core.CallAccess}, fname, line)
+			// Same fields as the interpreter's report (object identity
+			// included), so tier-0 and tier-1 render identically.
+			return e.Located(&core.BugError{
+				Kind: core.TypeViolation, Access: core.CallAccess, Mem: p.Obj.Mem, Obj: p.Obj.Name,
+			}, fname, line)
 		}
-		return invoke(e, fr, p.FuncIndex())
+		idx := p.FuncIndex()
+		if idx < 0 || idx >= nFuncs {
+			return &core.InternalError{
+				Msg:   fmt.Sprintf("call to unknown function in %s", fname),
+				Guest: e.CaptureStack(fname, line),
+			}
+		}
+		return invoke(e, fr, idx)
 	}, nil
 }
 

@@ -13,7 +13,10 @@
 package memcheck
 
 import (
+	"sort"
+
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/nativemem"
 	"repro/internal/nativevm"
 )
@@ -43,10 +46,29 @@ type Tool struct {
 	// bookkeeping (A/V-bit range updates) against the run's step budget so
 	// instrumented bulk operations honor the execution governor.
 	fuel func(n int64)
+
+	// stack, when set by the machine, captures the guest backtrace at the
+	// current instruction; allocStacks/freeStacks remember malloc and free
+	// sites per block (Valgrind's execontexts), so use-after-free and
+	// double-free reports print "Address ... was alloc'd / free'd at".
+	stack       func() diag.Stack
+	allocStacks map[uint64]diag.Stack
+	freeStacks  map[uint64]diag.Stack
 }
 
 // SetFuel installs the machine's fuel account (nativevm wires this up).
 func (t *Tool) SetFuel(f func(n int64)) { t.fuel = f }
+
+// SetStackSource installs the machine's shadow call stack (nativevm wires
+// this up, like SetFuel).
+func (t *Tool) SetStackSource(f func() diag.Stack) { t.stack = f }
+
+func (t *Tool) capture() diag.Stack {
+	if t.stack != nil {
+		return t.stack()
+	}
+	return diag.Stack{}
+}
 
 func (t *Tool) charge(n int64) {
 	if t.fuel != nil && n > 0 {
@@ -80,12 +102,14 @@ func (t *Tool) PerInstr(op int) {
 // New builds a memcheck tool.
 func New() *Tool {
 	return &Tool{
-		abits:  map[uint64][]byte{},
-		vbits:  map[uint64][]byte{},
-		live:   map[uint64]int64{},
-		freed:  map[uint64]int64{},
-		heapLo: nativevm.HeapBase,
-		heapHi: nativevm.HeapBase,
+		abits:       map[uint64][]byte{},
+		vbits:       map[uint64][]byte{},
+		live:        map[uint64]int64{},
+		freed:       map[uint64]int64{},
+		allocStacks: map[uint64]diag.Stack{},
+		freeStacks:  map[uint64]diag.Stack{},
+		heapLo:      nativevm.HeapBase,
+		heapHi:      nativevm.HeapBase,
 	}
 }
 
@@ -160,16 +184,31 @@ func (t *Tool) check(addr uint64, size int64, acc core.AccessKind) *core.BugErro
 	}
 	for i := int64(0); i < size; i++ {
 		if t.aState(addr+uint64(i)) == 0 {
-			kind := core.OutOfBounds
+			be := &core.BugError{Kind: core.OutOfBounds, Access: acc, Size: size, Mem: core.HeapMem,
+				Func: "memcheck", AccessStack: t.capture()}
 			// If this byte belongs to a freed (not yet reused) block, the
-			// report is a use-after-free.
+			// report is a use-after-free and blames that block's alloc and
+			// free sites (Valgrind's "was alloc'd / free'd at" sections).
+			bad := addr + uint64(i)
 			for fa, fs := range t.freed {
-				if addr+uint64(i) >= fa && addr+uint64(i) < fa+uint64(fs) {
-					kind = core.UseAfterFree
+				if bad >= fa && bad < fa+uint64(fs) {
+					be.Kind = core.UseAfterFree
+					be.AllocStack = t.allocStacks[fa]
+					be.FreeStack = t.freeStacks[fa]
 					break
 				}
 			}
-			return &core.BugError{Kind: kind, Access: acc, Size: size, Mem: core.HeapMem, Func: "memcheck"}
+			if be.Kind == core.OutOfBounds {
+				// Blame the adjacent live block when the access lands in a
+				// redzone next to it.
+				for base, bs := range t.live {
+					if bad+heapRedzone >= base && bad < base+uint64(bs)+heapRedzone {
+						be.AllocStack = t.allocStacks[base]
+						break
+					}
+				}
+			}
+			return be
 		}
 	}
 	return nil
@@ -215,7 +254,9 @@ func (a *mcAlloc) Malloc(size int64) uint64 {
 	addr := raw + heapRedzone
 	t.setA(addr, size, 1)
 	t.live[addr] = size
+	t.allocStacks[addr] = t.capture()
 	delete(t.freed, addr) // block re-allocated: stale pointers go dark
+	delete(t.freeStacks, addr)
 	if end := addr + uint64(size); end > t.heapHi {
 		t.heapHi = end + nativemem.PageSize
 	}
@@ -227,12 +268,14 @@ func (a *mcAlloc) Free(addr uint64) error {
 	size, ok := t.live[addr]
 	if !ok {
 		if _, wasFreed := t.freed[addr]; wasFreed {
-			return &core.BugError{Kind: core.DoubleFree, Access: core.Free, Mem: core.HeapMem, Func: "memcheck"}
+			return &core.BugError{Kind: core.DoubleFree, Access: core.Free, Mem: core.HeapMem, Func: "memcheck",
+				AccessStack: t.capture(), AllocStack: t.allocStacks[addr], FreeStack: t.freeStacks[addr]}
 		}
-		return &core.BugError{Kind: core.InvalidFree, Access: core.Free, Func: "memcheck"}
+		return &core.BugError{Kind: core.InvalidFree, Access: core.Free, Func: "memcheck", AccessStack: t.capture()}
 	}
 	delete(t.live, addr)
 	t.freed[addr] = size
+	t.freeStacks[addr] = t.capture()
 	t.setA(addr, size, 0)
 	return t.inner.Free(addr - heapRedzone)
 }
@@ -242,11 +285,19 @@ func (a *mcAlloc) SizeOf(addr uint64) (int64, bool) {
 	return s, ok
 }
 
-// Leaks reports blocks still live at exit (memcheck's --leak-check).
+// Leaks reports blocks still live at exit (memcheck's --leak-check), each
+// with the backtrace of its allocation site. Blocks are reported in address
+// order so output is deterministic run to run.
 func (t *Tool) Leaks() []*core.BugError {
+	addrs := make([]uint64, 0, len(t.live))
+	for addr := range t.live {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var out []*core.BugError
-	for _, size := range t.live {
-		out = append(out, &core.BugError{Kind: core.MemoryLeak, ObjSize: size, Mem: core.HeapMem, Func: "memcheck"})
+	for _, addr := range addrs {
+		out = append(out, &core.BugError{Kind: core.MemoryLeak, ObjSize: t.live[addr], Mem: core.HeapMem,
+			Func: "memcheck", AllocStack: t.allocStacks[addr]})
 	}
 	return out
 }

@@ -29,7 +29,15 @@ func (m *Machine) callFrom(caller *Frame, idx int, args []Value, vaBase uint64, 
 		if !ok {
 			return Value{}, fmt.Errorf("nativevm: call to unresolved external %q", f.Name)
 		}
-		return lf(m, &CallCtx{Args: args, VaBase: vaBase, VaCount: vaCount, Frame: caller})
+		// Library code runs with inLib set: tool reports raised inside it
+		// (interceptors, the replacement allocator) use the call edge on the
+		// shadow stack as their innermost frame. Saved and restored because
+		// libc can call back into guest code (qsort comparators).
+		prevLib := m.inLib
+		m.inLib = true
+		ret, err := lf(m, &CallCtx{Args: args, VaBase: vaBase, VaCount: vaCount, Frame: caller})
+		m.inLib = prevLib
+		return ret, err
 	}
 	if m.depth >= m.maxDepth {
 		// Native recursion exhaustion is a stack overflow: the simulated
@@ -70,6 +78,14 @@ func (e *nativeFaultErr) Error() string {
 // exec runs one frame to completion.
 func (m *Machine) exec(fr *Frame) (Value, error) {
 	f := fr.Fn
+	// Shadow location tracking: record which guest function/line is
+	// executing so tool reports can synthesize their innermost frame. The
+	// previous values are restored on return (nested exec via calls).
+	prevFn, prevLine, prevLib := m.curFn, m.curLine, m.inLib
+	m.curFn, m.inLib = f.Name, false
+	defer func() {
+		m.curFn, m.curLine, m.inLib = prevFn, prevLine, prevLib
+	}()
 	blk, ii := 0, 0
 	for {
 		m.steps++
@@ -81,6 +97,9 @@ func (m *Machine) exec(fr *Frame) (Value, error) {
 			return Value{}, m.gov.Err()
 		}
 		in := &f.Blocks[blk].Instrs[ii]
+		if in.Line > 0 {
+			m.curLine = in.Line
+		}
 		if m.perInstr != nil {
 			m.perInstr(int(in.Op))
 		}
@@ -280,7 +299,12 @@ func (m *Machine) execCall(fr *Frame, in *ir.Instr) (Value, error) {
 	} else {
 		vaCount = 0
 	}
+	// Record the call edge on the shadow call stack before transferring
+	// control — including to precompiled libc, so allocator and interceptor
+	// reports can name the guest call site.
+	m.PushCall(fr.Fn.Name, in.Line)
 	ret, err := m.callFrom(fr, idx, args, vaBase, vaCount)
+	m.PopCall()
 	if vaBase != 0 {
 		m.sp = spBeforeVa // pop the va area
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/nativemem"
 )
@@ -148,6 +149,17 @@ type Machine struct {
 	Ungot      int
 
 	envpAddr uint64
+
+	// Shadow call stack: the machine analogue of a debugger unwinding the
+	// real stack. callStack holds one frame per live call edge (caller
+	// function + call-site line); curFn/curLine track the instruction being
+	// executed; inLib marks execution inside a precompiled library function,
+	// where the call edge already names the faulting site. Tools (ASan,
+	// memcheck) read it through CaptureStack to put backtraces on reports.
+	callStack diag.Stack
+	curFn     string
+	curLine   int
+	inLib     bool
 }
 
 // EnvpAddr returns the address of the kernel-initialized envp array
@@ -198,6 +210,13 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 	if fa, ok := any(m.checker).(interface{ SetFuel(func(n int64)) }); ok && m.checker != nil {
 		fa.SetFuel(m.AddSteps)
 	}
+	// Tools that attach backtraces to their reports get the machine's shadow
+	// call stack (same interface-assertion wiring as the fuel account).
+	if sa, ok := any(m.checker).(interface {
+		SetStackSource(func() diag.Stack)
+	}); ok && m.checker != nil {
+		sa.SetStackSource(m.CaptureStack)
+	}
 
 	// Stack.
 	m.Mem.Map(StackTop-StackSize, StackSize)
@@ -212,6 +231,27 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 
 // Checker returns the configured tool checker (nil for raw native).
 func (m *Machine) Checker() Checker { return m.checker }
+
+// PushCall records a call edge (caller function + call-site line) on the
+// shadow call stack. O(1): one persistent-stack node.
+func (m *Machine) PushCall(fn string, line int) {
+	m.callStack = m.callStack.Push(diag.Frame{Func: fn, Line: line})
+}
+
+// PopCall removes the innermost call edge.
+func (m *Machine) PopCall() { m.callStack = m.callStack.Pop() }
+
+// CaptureStack returns the guest backtrace at the current instruction:
+// the shadow call stack plus a synthesized leaf frame for the instruction
+// being executed. Inside a precompiled library function the top call edge
+// already names the faulting call site, so no leaf is added — reports from
+// libc interceptors blame the guest call, exactly like real ASan output.
+func (m *Machine) CaptureStack() diag.Stack {
+	if m.inLib || m.curFn == "" {
+		return m.callStack
+	}
+	return m.callStack.Push(diag.Frame{Func: m.curFn, Line: m.curLine})
+}
 
 // Output returns captured stdout when no writer was configured.
 func (m *Machine) Output() string {

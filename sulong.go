@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/jit"
 	"repro/internal/pipeline"
@@ -130,6 +131,12 @@ type Result struct {
 	Fault error
 	// Leaks lists unfreed heap allocations (managed engine, DetectLeaks).
 	Leaks []*core.BugError
+	// Diagnostics carries every report of the run (the bug, then leaks) in
+	// the unified diagnostics form: kind, message, tool/tier provenance, and
+	// the access / allocation-site / free-site backtraces. The rendered form
+	// (Diagnostic.Render) is deterministic and excludes the tier, so tier-0
+	// and tier-1 SafeSulong runs produce byte-identical reports.
+	Diagnostics []*diag.Diagnostic
 	// Stats carries engine counters (managed engine).
 	Stats core.Stats
 }
@@ -270,15 +277,33 @@ func runManaged(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) 
 	if cfg.DetectLeaks {
 		res.Leaks = eng.Leaks()
 	}
+	tier := "tier-0"
+	if cfg.JIT {
+		tier = "tier-1"
+	}
 	if err != nil {
 		var bug *core.BugError
 		if asBug(err, &bug) {
 			res.Bug = bug
+			res.collectDiagnostics("SafeSulong", tier)
 			return res, nil
 		}
+		res.collectDiagnostics("SafeSulong", tier)
 		return res, err
 	}
+	res.collectDiagnostics("SafeSulong", tier)
 	return res, nil
+}
+
+// collectDiagnostics converts the run's reports (the bug, then leaks, in
+// that deterministic order) into the unified diagnostics form.
+func (r *Result) collectDiagnostics(tool, tier string) {
+	if r.Bug != nil {
+		r.Diagnostics = append(r.Diagnostics, r.Bug.Diagnostic(tool, tier))
+	}
+	for _, l := range r.Leaks {
+		r.Diagnostics = append(r.Diagnostics, l.Diagnostic(tool, tier))
+	}
 }
 
 // asBug reports whether err is, or wraps, a *core.BugError — including
