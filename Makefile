@@ -9,9 +9,9 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck diagcheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck bench clean
 
-check: fmt vet build test race
+check: fmt vet build test race faultcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -47,6 +47,15 @@ hangcheck:
 # stay race-clean.
 diagcheck:
 	$(GO) test -race -timeout 120s -run 'TierParity|HeapBlame|Diag' ./...
+
+# Fault-plane gate: the allocation-failure suite (heap budgets, injected
+# fault schedules, calloc overflow, glibc realloc semantics, tier parity of
+# injected outcomes, oom-cell determinism, retry/quarantine) under the race
+# detector, plus the corpus-wide FailNth sweep asserting no engine ever
+# panics on an injected allocation failure.
+faultcheck:
+	$(GO) test -race -timeout 120s -run 'Fault|Calloc|MallocZero|Realloc|HeapBudget|HeapDenial|AllocAuto|NullPlusOffset|OOM|Retry|Quarantin|Sweep' ./...
+	$(GO) run ./cmd/bugbench -faultsweep -sweepmax 3
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

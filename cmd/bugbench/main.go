@@ -15,13 +15,20 @@
 //	bugbench -parallel 1     # force the serial driver
 //	bugbench -timeout 5s     # per-cell wall-clock deadline
 //	bugbench -maxsteps N     # per-cell step budget (deterministic)
+//	bugbench -maxheap N      # per-cell guest heap budget in bytes
+//	bugbench -failnth N      # fail the N-th guest heap allocation
+//	bugbench -failprob P -faultseed S  # seeded random allocation failures
+//	bugbench -retries N      # retry cells that die with internal errors
+//	bugbench -faultsweep     # FailNth=1..k sweep asserting engine survival
 //	bugbench -json out.json  # also emit a machine-readable report
 //	bugbench -casestudies    # only the Figs. 10-14 case studies
 //	bugbench -case NAME      # one corpus case, all tools, with reports
 //	bugbench -list           # corpus inventory with ground truth
 //
-// A case that exhausts its budget renders as a "timeout" cell; the rest of
-// the matrix completes normally.
+// A case that exhausts its step budget renders as a "timeout" cell, one
+// whose stack or globals exhaust -maxheap as an "oom" cell, and one whose
+// every retry dies with an internal engine error as a "quarantined" cell;
+// the rest of the matrix completes normally in each instance.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 
 	sulong "repro"
 	"repro/internal/corpus"
+	"repro/internal/fault"
 	"repro/internal/harness"
 )
 
@@ -45,6 +53,9 @@ type matrixReport struct {
 	Totals      map[string]int    `json:"totals"`
 	MissedBoth  []string          `json:"foundOnlyBySafeSulong"`
 	Timeouts    []string          `json:"timeouts,omitempty"`
+	OOMs        []string          `json:"ooms,omitempty"`
+	Quarantined []string          `json:"quarantined,omitempty"`
+	FaultPlan   string            `json:"faultPlan,omitempty"`
 	Cache       sulongCacheReport `json:"cache"`
 	// Diagnostics carries every cell's structured report (kind, message,
 	// tool/tier provenance, access/alloc/free backtraces) in deterministic
@@ -71,10 +82,26 @@ func main() {
 	parallel := flag.Int("parallel", 0, "matrix worker count (0 = one per CPU, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock deadline (0 = none)")
 	maxSteps := flag.Int64("maxsteps", 0, "per-cell step budget (0 = harness default, <0 = engine default)")
+	maxHeap := flag.Int64("maxheap", 0, "per-cell guest heap budget in bytes (0 = none)")
+	maxAlloc := flag.Int64("maxalloc", 0, "per-cell single-allocation cap in bytes (0 = engine default)")
+	failNth := flag.Int64("failnth", 0, "fail the N-th guest heap allocation in every cell (0 = off)")
+	failProb := flag.Float64("failprob", 0, "fail each guest heap allocation with this probability (0 = off)")
+	faultSeed := flag.Int64("faultseed", 0, "PRNG seed for -failprob (deterministic per cell)")
+	retries := flag.Int("retries", 0, "retry cells that die with internal engine errors this many times")
+	faultSweep := flag.Bool("faultsweep", false, "run the FailNth=1..k allocation-failure sweep instead of the matrix")
+	sweepMax := flag.Int("sweepmax", 3, "with -faultsweep, sweep FailNth from 1 to this value")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
 	flag.Parse()
 
-	budget := harness.CaseBudget{MaxSteps: *maxSteps, Timeout: *timeout}
+	plan := fault.Plan{Seed: *faultSeed, FailNth: *failNth, FailProb: *failProb}
+	budget := harness.CaseBudget{
+		MaxSteps:      *maxSteps,
+		Timeout:       *timeout,
+		MaxHeapBytes:  *maxHeap,
+		MaxAllocBytes: *maxAlloc,
+		FaultPlan:     plan,
+		MaxRetries:    *retries,
+	}
 
 	switch {
 	case *list:
@@ -88,6 +115,20 @@ func main() {
 			}
 			fmt.Printf("%-28s %-16s %-5s %-9s %-9s%s\n",
 				c.Name, c.Category, c.Access, c.Direction, c.Mem, extra)
+		}
+	case *faultSweep:
+		res := harness.FaultSweep(harness.SweepOptions{
+			MaxNth:       *sweepMax,
+			Workers:      *parallel,
+			MaxSteps:     *maxSteps,
+			MaxHeapBytes: *maxHeap,
+		})
+		fmt.Print(res.Render())
+		if *jsonOut != "" {
+			writeJSON(*jsonOut, res)
+		}
+		if !res.OK() {
+			os.Exit(1)
 		}
 	case *caseStudies:
 		fmt.Print(harness.CaseStudiesWith(budget))
@@ -113,9 +154,13 @@ func main() {
 	default:
 		start := time.Now()
 		m := harness.RunDetectionMatrixWith(harness.MatrixOptions{
-			Workers:     *parallel,
-			MaxSteps:    *maxSteps,
-			CaseTimeout: *timeout,
+			Workers:       *parallel,
+			MaxSteps:      *maxSteps,
+			CaseTimeout:   *timeout,
+			MaxHeapBytes:  *maxHeap,
+			MaxAllocBytes: *maxAlloc,
+			FaultPlan:     plan,
+			MaxRetries:    *retries,
 		})
 		elapsed := time.Since(start)
 		fmt.Print(m.Render())
@@ -130,8 +175,13 @@ func main() {
 				Totals:      map[string]int{},
 				MissedBoth:  m.MissedByBoth(),
 				Timeouts:    m.Timeouts(),
+				OOMs:        m.OOMs(),
+				Quarantined: m.Quarantined,
 				Cache:       cacheReport(),
 				Diagnostics: m.Diagnostics(),
+			}
+			if plan.Enabled() {
+				rep.FaultPlan = plan.String()
 			}
 			for _, tool := range harness.Tools() {
 				rep.Totals[tool.String()] = m.Totals[tool]

@@ -4,7 +4,13 @@
 // Usage:
 //
 //	sulong [-engine safe|native|asan|memcheck] [-O 0|3] [-emit-ir]
-//	       [-jit] [-leaks] [-json report.json] file.c [program args...]
+//	       [-jit] [-leaks] [-maxheap N] [-failnth N] [-json report.json]
+//	       file.c [program args...]
+//
+// -maxheap bounds the guest's memory: heap allocations past the budget
+// return NULL (so the guest's own error paths run), while stack or global
+// exhaustion surfaces a structured resource error. -failnth/-failprob inject
+// deterministic allocation failures to exercise the same paths on demand.
 //
 // Memory-error reports render with their backtraces: the access call stack
 // plus, for heap errors, the allocation-site and free-site stacks (the
@@ -16,11 +22,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	sulong "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
 
@@ -32,6 +41,11 @@ func main() {
 	leaks := flag.Bool("leaks", false, "report unfreed heap objects at exit (safe engine)")
 	uar := flag.Bool("use-after-return", false, "detect accesses to stack objects of returned functions (safe engine)")
 	runIR := flag.Bool("ir", false, "treat the input as an SIR module instead of C source")
+	maxHeap := flag.Int64("maxheap", 0, "guest heap budget in bytes (0 = unlimited)")
+	maxAlloc := flag.Int64("maxalloc", 0, "single-allocation cap in bytes (0 = engine default)")
+	failNth := flag.Int64("failnth", 0, "fail the N-th guest heap allocation (0 = off)")
+	failProb := flag.Float64("failprob", 0, "fail each guest heap allocation with this probability (0 = off)")
+	faultSeed := flag.Int64("faultseed", 0, "PRNG seed for -failprob (deterministic)")
 	jsonOut := flag.String("json", "", "write the run's structured diagnostics to this file")
 	flag.Parse()
 
@@ -69,6 +83,9 @@ func main() {
 		JIT:                  *useJIT,
 		DetectLeaks:          *leaks,
 		DetectUseAfterReturn: *uar,
+		MaxHeapBytes:         *maxHeap,
+		MaxAllocBytes:        *maxAlloc,
+		FaultPlan:            fault.Plan{Seed: *faultSeed, FailNth: *failNth, FailProb: *failProb},
 	}
 
 	if *runIR {
@@ -103,6 +120,12 @@ func main() {
 func finish(res sulong.Result, err error, engine, jsonOut string) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sulong:", err)
+		// Guest resource exhaustion (-maxheap) is a run outcome, not a
+		// toolchain failure: exit like a reported fault.
+		var oom *core.ResourceError
+		if errors.As(err, &oom) {
+			os.Exit(1)
+		}
 		os.Exit(2)
 	}
 	if jsonOut != "" {

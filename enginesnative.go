@@ -75,6 +75,9 @@ func runNativeFamily(mod *ir.Module, cfg Config, gov *core.Governor) (Result, er
 	ncfg.Stdin = cfg.Stdin
 	ncfg.Stdout = cfg.Stdout
 	ncfg.MaxSteps = cfg.MaxSteps
+	ncfg.MaxHeapBytes = cfg.MaxHeapBytes
+	ncfg.MaxAllocBytes = cfg.MaxAllocBytes
+	ncfg.FaultPlan = cfg.FaultPlan
 	ncfg.Governor = gov
 
 	m, err := nativevm.New(mod, ncfg)
@@ -83,6 +86,13 @@ func runNativeFamily(mod *ir.Module, cfg Config, gov *core.Governor) (Result, er
 	}
 	code, runErr := m.Run()
 	res := Result{ExitCode: code, Stdout: m.Output()}
+	ms := m.MemStats()
+	res.Stats.HeapAllocs = ms.HeapAllocs
+	res.Stats.HeapAllocBytes = ms.HeapAllocBytes
+	res.Stats.HeapInUseBytes = ms.HeapInUseBytes
+	res.Stats.HeapPeakBytes = ms.HeapPeakBytes
+	res.Stats.InjectedFaults = ms.InjectedFaults
+	res.Stats.DeniedAllocs = ms.DeniedAllocs
 	if finish != nil {
 		finish(&res)
 	}

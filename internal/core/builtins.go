@@ -4,6 +4,8 @@ import (
 	"math"
 	"strconv"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // builtinTable maps declared external functions to Go implementations.
@@ -64,17 +66,22 @@ func biMalloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 	return Value{P: e.AllocHeap(args[0].I, "malloc")}, nil
 }
 
-// maxHeapAlloc bounds a single allocation; larger requests fail like a real
-// malloc returning NULL (the corpus exercises the unchecked-malloc pattern).
+// maxHeapAlloc is the default single-allocation cap; larger requests fail
+// like a real malloc returning NULL (the corpus exercises the
+// unchecked-malloc pattern). Config.MaxAllocBytes overrides it.
 const maxHeapAlloc = 1 << 31
 
 // AllocHeap creates a managed heap object (exposed for builtins/tests).
-// Oversized requests return the null pointer. The engine call stack at the
-// allocation becomes the object's allocation-site backtrace: the malloc call
-// edge is pushed before builtin dispatch, so the stack's top frame is the
-// caller at the malloc call line — recording it is one pointer copy.
+// Every request is charged through the fault injector: oversized or
+// over-budget requests, and allocations the fault plan denies, return the
+// null pointer — exactly how guest code observes a real malloc failure
+// (malloc(0) follows glibc and returns a unique zero-size object, see
+// DESIGN.md §10). The engine call stack at the allocation becomes the
+// object's allocation-site backtrace: the malloc call edge is pushed before
+// builtin dispatch, so the stack's top frame is the caller at the malloc
+// call line — recording it is one pointer copy.
 func (e *Engine) AllocHeap(size int64, name string) Pointer {
-	if size < 0 || size > maxHeapAlloc {
+	if e.mem.ChargeHeap(size) != fault.OK {
 		return Pointer{}
 	}
 	obj := NewObject(size, HeapMem, name, e.id())
@@ -86,9 +93,19 @@ func (e *Engine) AllocHeap(size int64, name string) Pointer {
 
 func biCalloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 	n, sz := args[0].I, args[1].I
+	// C11 7.22.3.2: if n*sz overflows, the request cannot be satisfied —
+	// return NULL instead of wrapping to a small (exploitable) size.
+	if n < 0 || sz < 0 || (sz != 0 && n > math.MaxInt64/sz) {
+		e.mem.ChargeHeap(-1) // count the denied attempt (FailNth coordinate)
+		return Value{P: Pointer{}}, nil
+	}
 	return Value{P: e.AllocHeap(n*sz, "calloc")}, nil // already zeroed
 }
 
+// biRealloc follows glibc semantics (documented in DESIGN.md §10):
+// realloc(NULL, n) is malloc(n); realloc(p, 0) frees p and returns NULL;
+// and when the new allocation fails, NULL is returned with the old block
+// left untouched — the caller still owns it, per C11 7.22.3.5.
 func biRealloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 	p := args[0].P
 	size := args[1].I
@@ -101,7 +118,16 @@ func biRealloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 		return Value{}, e.frameErr(fr, be)
 	}
 	old := p.Obj
+	if size == 0 {
+		e.mem.Release(old.Size())
+		old.FreeWith(e.callStack)
+		e.stats.Frees++
+		return Value{P: Pointer{}}, nil
+	}
 	np := e.AllocHeap(size, "realloc")
+	if np.IsNull() {
+		return Value{P: Pointer{}}, nil // old block stays live and valid
+	}
 	n := old.Size()
 	if size < n {
 		n = size
@@ -111,6 +137,7 @@ func biRealloc(e *Engine, fr *Frame, args []Value) (Value, error) {
 			return Value{}, e.frameErr(fr, be)
 		}
 	}
+	e.mem.Release(old.Size())
 	old.FreeWith(e.callStack)
 	e.stats.Frees++
 	return Value{P: np}, nil
@@ -147,6 +174,7 @@ func biFree(e *Engine, fr *Frame, args []Value) (Value, error) {
 	if be := checkFreeable(p); be != nil {
 		return Value{}, e.frameErr(fr, be)
 	}
+	e.mem.Release(p.Obj.Size())
 	p.Obj.FreeWith(e.callStack)
 	e.stats.Frees++
 	return Value{}, nil

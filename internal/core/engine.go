@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/diag"
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
 
@@ -34,6 +35,10 @@ type Frame struct {
 	// Autos tracks this frame's stack objects when use-after-return
 	// detection is on; they are invalidated when the frame pops.
 	Autos []*Object
+	// stackBytes is the total charged size of this frame's alloca objects;
+	// the bytes are returned to the fault injector's budget when the frame
+	// pops (the managed analogue of resetting the stack pointer).
+	stackBytes int64
 }
 
 // Builtin is a function implemented in Go, playing the role of the paper's
@@ -67,6 +72,17 @@ type Config struct {
 	// use-after-return/use-after-scope class ASan added after the paper's
 	// original publication; the managed model gets it by marking objects).
 	DetectUseAfterReturn bool
+	// MaxHeapBytes bounds cumulative live guest memory (heap + stack +
+	// globals). 0 = unlimited. Heap exhaustion is soft (malloc returns
+	// NULL); stack/global exhaustion is hard (*ResourceError, paper has no
+	// native analogue — C cannot report a failed alloca).
+	MaxHeapBytes int64
+	// MaxAllocBytes bounds a single heap allocation (0 = engine default of
+	// 2 GiB); over-cap requests fail softly like a real malloc.
+	MaxAllocBytes int64
+	// FaultPlan injects deterministic allocation failures so the guest's
+	// own malloc error paths are exercised. The zero plan injects nothing.
+	FaultPlan fault.Plan
 	// Governor, when non-nil, is the run's cooperative cancellation point:
 	// the interpreter and tier-1 compiled code poll it at basic-block
 	// boundaries and return its *DeadlineError when it has been stopped.
@@ -80,7 +96,10 @@ type Config struct {
 	OnCompile func(name string)
 }
 
-// Stats captures execution counters.
+// Stats captures execution counters. The Heap* and fault fields mirror the
+// fault injector's accounting and are tier-invariant: a tier-0 and a tier-1
+// run of the same program report identical heap numbers (paper §5's
+// "identical semantics across tiers" requirement extended to resources).
 type Stats struct {
 	Steps       int64
 	Calls       int64
@@ -90,6 +109,14 @@ type Stats struct {
 	Tier1Calls  int64
 	InterpCalls int64
 	LeaksFound  int
+
+	// Heap accounting from the fault plane (internal/fault.Stats).
+	HeapAllocs     int64
+	HeapAllocBytes int64
+	HeapInUseBytes int64
+	HeapPeakBytes  int64
+	InjectedFaults int64
+	DeniedAllocs   int64
 }
 
 // Engine is the managed execution engine (Safe Sulong).
@@ -114,6 +141,7 @@ type Engine struct {
 	heap    []*Object // live heap objects, for leak detection
 	envObjs map[string]*Object
 	stats   Stats
+	mem     *fault.Injector // heap budget + fault schedule (nil-safe)
 
 	// callStack is the live guest call stack: one frame per active call,
 	// holding the *caller's* function and the call-site line. It is a
@@ -155,6 +183,14 @@ func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
 	e.stdin = bufio.NewReader(in)
 	e.compiled = make([]CompiledFunc, len(mod.Funcs))
 	e.counts = make([]int64, len(mod.Funcs))
+	mab := cfg.MaxAllocBytes
+	if mab == 0 {
+		mab = maxHeapAlloc
+	}
+	e.mem = fault.NewInjector(cfg.FaultPlan, fault.Budget{
+		MaxHeapBytes:  cfg.MaxHeapBytes,
+		MaxAllocBytes: mab,
+	})
 	if err := e.bindBuiltins(); err != nil {
 		return nil, err
 	}
@@ -219,12 +255,23 @@ func (e *Engine) Located(be *BugError, fn string, line int) *BugError {
 	return be
 }
 
-// Stats returns a snapshot of execution counters.
+// Stats returns a snapshot of execution counters, merging in the fault
+// plane's exact heap accounting.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.Steps = e.steps
+	ms := e.mem.Stats()
+	s.HeapAllocs = ms.HeapAllocs
+	s.HeapAllocBytes = ms.HeapAllocBytes
+	s.HeapInUseBytes = ms.HeapInUseBytes
+	s.HeapPeakBytes = ms.HeapPeakBytes
+	s.InjectedFaults = ms.InjectedFaults
+	s.DeniedAllocs = ms.DeniedAllocs
 	return s
 }
+
+// MemStats exposes the raw fault-plane accounting (tests, the sweep).
+func (e *Engine) MemStats() fault.Stats { return e.mem.Stats() }
 
 // Output returns captured stdout when no Stdout writer was configured.
 func (e *Engine) Output() string {
@@ -261,6 +308,11 @@ func (e *Engine) bindBuiltins() error {
 func (e *Engine) initGlobals() error {
 	e.globals = make(map[string]*Object, len(e.mod.Globals))
 	for _, g := range e.mod.Globals {
+		// Globals are charged against the run budget and never released.
+		// C cannot express a failed global, so exhaustion is hard (oom).
+		if e.mem.ChargeFixed(g.Ty.Size()) == fault.Exhausted {
+			return &ResourceError{Resource: "global", Requested: g.Ty.Size(), Limit: e.mem.Limit()}
+		}
 		obj := NewObject(g.Ty.Size(), StaticMem, g.Name, e.id())
 		obj.Ty = g.Ty
 		e.globals[g.Name] = obj
@@ -456,18 +508,32 @@ func (e *Engine) CallIndex(idx int, args []Value) (Value, error) {
 	return e.invoke(idx, args, nil)
 }
 
-// AllocAuto creates a managed stack object (tier-1 compiled allocas). fn and
-// line name the alloca's source location; the allocation-site stack is
-// captured so later out-of-bounds / use-after-return reports can print it.
-func (e *Engine) AllocAuto(size int64, name string, ty ir.Type, fn string, line int) Pointer {
+// AllocAuto creates a managed stack object (used by both tiers' allocas).
+// fn and line name the alloca's source location; the allocation-site stack
+// is captured so later out-of-bounds / use-after-return reports can print
+// it. The bytes are charged against the run's heap budget (owned by fr, so
+// they are released when the frame pops); exhaustion is hard — C cannot
+// report a failed alloca — so the error is a *ResourceError, never NULL.
+func (e *Engine) AllocAuto(fr *Frame, size int64, name string, ty ir.Type, fn string, line int) (Pointer, error) {
 	if size < 0 {
 		size = 0
+	}
+	if e.mem.ChargeFixed(size) == fault.Exhausted {
+		return Pointer{}, &ResourceError{
+			Resource:  "stack",
+			Requested: size,
+			Limit:     e.mem.Limit(),
+			Guest:     e.CaptureStack(fn, line),
+		}
+	}
+	if fr != nil {
+		fr.stackBytes += size
 	}
 	obj := NewObject(size, AutoMem, name, e.id())
 	obj.Ty = ty
 	obj.AllocStack = e.CaptureStack(fn, line)
 	e.stats.Allocs++
-	return Pointer{Obj: obj}
+	return Pointer{Obj: obj}, nil
 }
 
 // Invoke dispatches a call from tier-1 compiled code: builtins receive the
@@ -508,6 +574,10 @@ func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error)
 	e.depth++
 	defer func() {
 		e.depth--
+		// Return this frame's alloca bytes to the budget — the managed
+		// analogue of popping the stack pointer. Both tiers allocate
+		// through AllocAuto, so the release point is tier-identical.
+		e.mem.ReleaseFixed(fr.stackBytes)
 		if e.cfg.DetectUseAfterReturn {
 			for _, obj := range fr.Autos {
 				obj.InvalidateReturned()

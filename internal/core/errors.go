@@ -180,3 +180,27 @@ type LimitError struct {
 }
 
 func (e *LimitError) Error() string { return "execution limit exceeded: " + e.What }
+
+// ResourceError reports *hard* guest-memory exhaustion: a stack or global
+// allocation exceeded the run's heap budget (Config.MaxHeapBytes). Heap
+// exhaustion is soft — guest malloc returns NULL, which C programs can
+// handle — but C has no way to report a failed alloca or global, so the
+// engine surfaces this structured error instead and harnesses classify the
+// run "oom" (a deterministic outcome, like LimitError's "timeout").
+//
+// The message is deterministic for a given program and budget (no
+// addresses, no elapsed quantities beyond the configured limit), so matrix
+// renders that include it stay byte-identical at any worker count.
+type ResourceError struct {
+	Resource  string // "stack" or "global"
+	Requested int64  // bytes the allocation asked for
+	Limit     int64  // the configured budget it exceeded
+	// Guest is the guest call stack at the exhausted allocation, when the
+	// engine had one (global-init exhaustion happens before main runs).
+	Guest diag.Stack
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("guest memory exhausted: %s allocation of %d bytes exceeds heap budget of %d bytes",
+		e.Resource, e.Requested, e.Limit)
+}

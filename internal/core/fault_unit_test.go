@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+)
+
+// newTestEngine builds an engine over a trivial module so allocation entry
+// points can be unit-tested without the C front end.
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	m := buildModule(t, `module "t"
+func @main fn() i32 regs 1 {
+entry:
+  ret i32 0
+}
+`)
+	e, err := NewEngine(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAllocAutoNegativeSizeClamped pins the alloca clamp: a negative size
+// (a miscomputed dynamic array length) yields a zero-size object instead of
+// panicking the engine, and any access to it is an out-of-bounds bug.
+func TestAllocAutoNegativeSizeClamped(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	p, err := e.AllocAuto(nil, -1, "buf", ir.I8, "main", 1)
+	if err != nil {
+		t.Fatalf("AllocAuto(-1): %v", err)
+	}
+	if p.Obj == nil || p.Obj.Size() != 0 {
+		t.Fatalf("AllocAuto(-1) = %+v, want zero-size object", p.Obj)
+	}
+	if be := p.Obj.StoreInt(0, 1, 'x', Write); be == nil {
+		t.Fatal("store into zero-size object must be out of bounds")
+	}
+}
+
+// TestAllocAutoBudgetExhaustion pins the hard stack-denial path: an alloca
+// that exceeds the heap budget returns a *ResourceError naming the stack.
+func TestAllocAutoBudgetExhaustion(t *testing.T) {
+	e := newTestEngine(t, Config{MaxHeapBytes: 64})
+	fr := &Frame{}
+	if _, err := e.AllocAuto(fr, 32, "small", ir.I8, "main", 1); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if fr.stackBytes != 32 {
+		t.Fatalf("frame charged %d bytes, want 32", fr.stackBytes)
+	}
+	_, err := e.AllocAuto(fr, 64, "big", ir.I8, "main", 2)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("over budget: got %v, want *ResourceError", err)
+	}
+	if re.Resource != "stack" || re.Limit != 64 {
+		t.Fatalf("ResourceError = %+v, want stack/limit 64", re)
+	}
+	// Releasing the frame's bytes returns them to the budget.
+	e.mem.ReleaseFixed(fr.stackBytes)
+	if _, err := e.AllocAuto(&Frame{}, 48, "retry", ir.I8, "main", 3); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestHeapDenialIsSoft pins the soft path: AllocHeap under an exhausted
+// budget or an injected fault returns the NULL pointer, never an error.
+func TestHeapDenialIsSoft(t *testing.T) {
+	e := newTestEngine(t, Config{MaxHeapBytes: 64})
+	p := e.AllocHeap(48, "malloc")
+	if p.IsNull() {
+		t.Fatal("within budget: got NULL")
+	}
+	if q := e.AllocHeap(48, "malloc"); !q.IsNull() {
+		t.Fatal("over budget: want NULL")
+	}
+	e.mem.Release(48)
+
+	e2 := newTestEngine(t, Config{FaultPlan: fault.Plan{FailNth: 1}})
+	if p := e2.AllocHeap(8, "malloc"); !p.IsNull() {
+		t.Fatal("injected attempt 1: want NULL")
+	}
+	if p := e2.AllocHeap(8, "malloc"); p.IsNull() {
+		t.Fatal("attempt 2: want success")
+	}
+	st := e2.MemStats()
+	if st.InjectedFaults != 1 || st.HeapAllocs != 1 || st.HeapAttempts != 2 {
+		t.Fatalf("stats = %+v, want 1 injected / 1 alloc / 2 attempts", st)
+	}
+}

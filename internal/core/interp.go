@@ -30,11 +30,10 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 				count = e.operand(fr, cnt).I
 			}
 			size := in.Ty.Size() * count
-			obj := NewObject(size, AutoMem, in.Name, e.id())
-			obj.Ty = in.Ty
-			obj.AllocStack = e.CaptureStack(f.Name, in.Line)
-			e.stats.Allocs++
-			p := Pointer{Obj: obj}
+			p, aerr := e.AllocAuto(fr, size, in.Name, in.Ty, f.Name, in.Line)
+			if aerr != nil {
+				return Value{}, aerr
+			}
 			e.TrackAuto(fr, p)
 			fr.Regs[in.Dst] = PtrValue(p)
 

@@ -233,13 +233,18 @@ func (o *Object) StorePtr(off int64, p Pointer, acc AccessKind) *BugError {
 	if s, bad := o.overlapsPtr(off, 8); bad && s != off {
 		delete(o.Ptrs, s)
 	}
-	if p.IsNull() {
+	if p.IsNull() && p.Off == 0 {
 		delete(o.Ptrs, off)
 		for i := int64(0); i < 8; i++ {
 			o.Data[off+i] = 0
 		}
 		return nil
 	}
+	// A null pointer with a nonzero offset (NULL+4 after pointer arithmetic on
+	// a failed malloc) keeps its offset through the memory roundtrip, so a
+	// later dereference reports the same effective offset whether the pointer
+	// lived in memory (tier-0) or in a register (tier-1 after scalar
+	// promotion). Such a pointer still compares equal to NULL only at Off 0.
 	if o.Ptrs == nil {
 		o.Ptrs = make(map[int64]Pointer, 4)
 	}

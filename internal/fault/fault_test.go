@@ -1,0 +1,167 @@
+package fault
+
+import "testing"
+
+func TestNilInjectorIsValid(t *testing.T) {
+	var j *Injector
+	if got := j.ChargeHeap(1 << 40); got != OK {
+		t.Fatalf("nil ChargeHeap = %v, want OK", got)
+	}
+	if got := j.ChargeFixed(1 << 40); got != OK {
+		t.Fatalf("nil ChargeFixed = %v, want OK", got)
+	}
+	j.Release(8)
+	j.ReleaseFixed(8)
+	if s := j.Stats(); s != (Stats{}) {
+		t.Fatalf("nil Stats = %+v, want zero", s)
+	}
+	if j.Active() {
+		t.Fatal("nil injector reports Active")
+	}
+}
+
+func TestFailNthIsExact(t *testing.T) {
+	j := NewInjector(Plan{FailNth: 3}, Budget{})
+	var got []Outcome
+	for i := 0; i < 5; i++ {
+		got = append(got, j.ChargeHeap(16))
+	}
+	want := []Outcome{OK, OK, Null, OK, OK}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alloc %d: got %v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	s := j.Stats()
+	if s.InjectedFaults != 1 || s.HeapAttempts != 5 || s.HeapAllocs != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFailNthCountsDeniedAttempts(t *testing.T) {
+	// The n-th *attempt* fails, even if earlier attempts were denied for
+	// other reasons — the coordinate system is the guest's call sequence.
+	j := NewInjector(Plan{FailNth: 2}, Budget{MaxAllocBytes: 10})
+	if got := j.ChargeHeap(100); got != Null { // over cap
+		t.Fatalf("first = %v, want Null", got)
+	}
+	if got := j.ChargeHeap(4); got != Null { // injected (attempt #2)
+		t.Fatalf("second = %v, want Null (injected)", got)
+	}
+	if got := j.ChargeHeap(4); got != OK {
+		t.Fatalf("third = %v, want OK", got)
+	}
+}
+
+func TestFailAfterBytes(t *testing.T) {
+	j := NewInjector(Plan{FailAfterBytes: 100}, Budget{})
+	if got := j.ChargeHeap(100); got != OK {
+		t.Fatalf("first 100B = %v, want OK", got)
+	}
+	if got := j.ChargeHeap(1); got != Null {
+		t.Fatalf("past the line = %v, want Null", got)
+	}
+	if got := j.ChargeHeap(1); got != Null {
+		t.Fatalf("still past the line = %v, want Null", got)
+	}
+}
+
+func TestFailProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []Outcome {
+		j := NewInjector(Plan{Seed: seed, FailProb: 0.5}, Budget{})
+		out := make([]Outcome, 64)
+		for i := range out {
+			out[i] = j.ChargeHeap(8)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 64-draw schedules")
+	}
+	var injected int
+	for _, o := range a {
+		if o == Null {
+			injected++
+		}
+	}
+	if injected < 16 || injected > 48 {
+		t.Fatalf("FailProb 0.5 injected %d/64 — badly skewed stream", injected)
+	}
+}
+
+func TestHeapBudgetSoftExhaustion(t *testing.T) {
+	j := NewInjector(Plan{}, Budget{MaxHeapBytes: 100})
+	if got := j.ChargeHeap(60); got != OK {
+		t.Fatalf("60B = %v", got)
+	}
+	if got := j.ChargeHeap(60); got != Null {
+		t.Fatalf("second 60B = %v, want Null (soft)", got)
+	}
+	j.Release(60)
+	if got := j.ChargeHeap(60); got != OK {
+		t.Fatalf("after release = %v, want OK", got)
+	}
+	s := j.Stats()
+	if s.HeapInUseBytes != 60 || s.HeapPeakBytes != 60 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFixedChargeHardExhaustion(t *testing.T) {
+	j := NewInjector(Plan{}, Budget{MaxHeapBytes: 100})
+	if got := j.ChargeFixed(90); got != OK {
+		t.Fatalf("90B fixed = %v", got)
+	}
+	if got := j.ChargeFixed(20); got != Exhausted {
+		t.Fatalf("overflow fixed = %v, want Exhausted", got)
+	}
+	// Heap and fixed share one budget.
+	if got := j.ChargeHeap(20); got != Null {
+		t.Fatalf("heap over shared budget = %v, want Null", got)
+	}
+	j.ReleaseFixed(90)
+	if got := j.ChargeHeap(20); got != OK {
+		t.Fatalf("after frame pop = %v, want OK", got)
+	}
+}
+
+func TestPeakTracksCombinedHighWater(t *testing.T) {
+	j := NewInjector(Plan{}, Budget{})
+	j.ChargeHeap(40)
+	j.ChargeFixed(30)
+	j.Release(40)
+	j.ChargeHeap(10)
+	if s := j.Stats(); s.HeapPeakBytes != 70 {
+		t.Fatalf("peak = %d, want 70 (stats %+v)", s.HeapPeakBytes, s)
+	}
+}
+
+func TestPlanStringAndEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan enabled")
+	}
+	if got := (Plan{}).String(); got != "none" {
+		t.Fatalf("zero plan String = %q", got)
+	}
+	p := Plan{FailNth: 3, FailAfterBytes: 64, FailProb: 0.1, Seed: 9}
+	if !p.Enabled() {
+		t.Fatal("plan not enabled")
+	}
+	if got := p.String(); got != "failnth=3 failafter=64B failprob=0.1 seed=9" {
+		t.Fatalf("String = %q", got)
+	}
+}

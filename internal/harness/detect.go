@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/diag"
+	"repro/internal/fault"
 	"repro/internal/nativemem"
 )
 
@@ -82,8 +83,22 @@ type Detection struct {
 	// wall-clock deadline fired (*core.DeadlineError). Distinct from
 	// RunError so the tables do not render a non-terminating program the
 	// same as an infrastructure failure.
-	Timeout  bool
+	Timeout bool
+	// OOM marks hard guest-memory exhaustion: a stack or global allocation
+	// exceeded CaseBudget.MaxHeapBytes (*core.ResourceError). Deterministic
+	// for a given program and budget, like Timeout's step-limit flavor —
+	// heap exhaustion never lands here, because guest malloc returns NULL
+	// and the program keeps running (or mishandles it, which is the point).
+	OOM      bool
 	RunError string // infrastructure failure (should be empty)
+	// Attempts counts how many times the cell was run (≥ 1). Values above 1
+	// mean the run died with a contained engine panic (*core.InternalError)
+	// and was retried under CaseBudget.MaxRetries.
+	Attempts int
+	// Quarantined marks a cell whose every attempt died with an internal
+	// engine error. The matrix completes without it instead of aborting;
+	// MatrixResult.Quarantined lists the coordinates.
+	Quarantined bool
 	// Diag is the structured diagnostic behind Report when the tool produced
 	// one: kind, tool/tier provenance, and the access / allocation-site /
 	// free-site backtraces. Deterministic at any matrix worker count (cells
@@ -98,8 +113,12 @@ func (d Detection) Status() string {
 		return "DETECTED"
 	case d.Timeout:
 		return "timeout"
+	case d.OOM:
+		return "oom"
 	case d.Crashed:
 		return "crashed"
+	case d.Quarantined:
+		return "quarantined"
 	case d.RunError != "":
 		return "error"
 	}
@@ -111,6 +130,10 @@ type MatrixResult struct {
 	Cases  []corpus.Case
 	Cells  map[string]map[Tool]Detection // case name -> tool -> cell
 	Totals map[Tool]int
+	// Quarantined lists cells whose every attempt died with a contained
+	// engine panic, as "case / tool" strings in deterministic (case, tool)
+	// order. The matrix completes without them instead of aborting.
+	Quarantined []string
 }
 
 // DefaultMaxSteps is the per-case step budget RunCase applies when the
@@ -129,6 +152,26 @@ type CaseBudget struct {
 	// identically (the report quotes the configured budget, not elapsed
 	// time), so matrix output stays byte-stable.
 	Timeout time.Duration
+	// MaxHeapBytes bounds cumulative live guest memory per cell (0 =
+	// unlimited). Soft (heap) exhaustion makes guest malloc return NULL;
+	// hard (stack/global) exhaustion classifies the cell "oom" —
+	// deterministic, so cells render identically at any worker count.
+	MaxHeapBytes int64
+	// MaxAllocBytes bounds a single guest heap request (0 = engine default).
+	MaxAllocBytes int64
+	// FaultPlan injects deterministic guest allocation failures into the
+	// cell's run (the fault sweep sets FailNth).
+	FaultPlan fault.Plan
+	// JIT runs SafeSulong cells with the tier-1 compiler enabled at
+	// JITThreshold (0 = engine default). Other tools ignore it. The sweep
+	// uses it to assert tier parity of injected outcomes.
+	JIT          bool
+	JITThreshold int64
+	// MaxRetries re-runs a cell that died with a contained engine panic
+	// (*core.InternalError) up to this many extra times, with bounded
+	// deterministic backoff; a cell that never recovers is quarantined
+	// instead of aborting the matrix. 0 = no retries.
+	MaxRetries int
 }
 
 func (b CaseBudget) maxSteps() int64 {
@@ -148,15 +191,56 @@ func RunCase(c corpus.Case, tool Tool) Detection {
 }
 
 // RunCaseWith executes one corpus case under one tool within the given
-// budget. It never panics: engine panics are already contained by
-// sulong.RunModuleCtx, and any harness-side panic is recovered here into
-// the cell's RunError, so one bad case cannot take down a whole matrix.
+// budget and classifies the result. It never panics: engine panics are
+// already contained by sulong.RunModuleCtx, and any harness-side panic is
+// recovered here into the cell's RunError, so one bad case cannot take down
+// a whole matrix.
+//
+// Cells that die with a contained engine panic (*core.InternalError) are
+// retried up to b.MaxRetries extra times with bounded deterministic backoff
+// (5ms, 10ms, 20ms, …, capped at 50ms); a cell that never recovers is
+// marked Quarantined. Attempts records the count either way, so the cell is
+// honest about how it was produced.
 func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 	defer func() {
 		if r := recover(); r != nil {
-			d = Detection{RunError: fmt.Sprintf("internal harness error: panic: %v\n%s", r, debug.Stack())}
+			d = Detection{RunError: fmt.Sprintf("internal harness error: panic: %v\n%s", r, debug.Stack()), Attempts: 1}
 		}
 	}()
+	for attempt := 1; ; attempt++ {
+		var internal bool
+		d, internal = runCaseOnce(c, tool, b)
+		d.Attempts = attempt
+		if !internal {
+			return d
+		}
+		if attempt > b.MaxRetries {
+			d.Quarantined = true
+			d.RunError = fmt.Sprintf("quarantined after %d attempt(s): %s", attempt, firstLine(d.RunError))
+			return d
+		}
+		time.Sleep(retryBackoff(attempt))
+	}
+}
+
+// retryBackoff is the bounded deterministic backoff schedule between retry
+// attempts: 5ms << (attempt-1), capped at 50ms. No jitter — determinism is
+// worth more here than collision avoidance (attempts are per-cell serial).
+func retryBackoff(attempt int) time.Duration {
+	d := 5 * time.Millisecond
+	for i := 1; i < attempt && d < 50*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// runCaseOnce executes a single attempt. internal reports whether the run
+// died with a contained engine panic / internal fault — the only class of
+// failure worth retrying (everything else is deterministic).
+func runCaseOnce(c corpus.Case, tool Tool, b CaseBudget) (d Detection, internal bool) {
 	cfg := tool.config()
 	cfg.Args = c.Args
 	if c.Stdin != "" {
@@ -164,14 +248,32 @@ func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 	}
 	cfg.MaxSteps = b.maxSteps()
 	cfg.Timeout = b.Timeout
+	cfg.MaxHeapBytes = b.MaxHeapBytes
+	cfg.MaxAllocBytes = b.MaxAllocBytes
+	cfg.FaultPlan = b.FaultPlan
+	if tool == SafeSulong && b.JIT {
+		cfg.JIT = true
+		cfg.JITThreshold = b.JITThreshold
+	}
 	res, err := sulong.Run(c.Source, cfg)
 	if err != nil {
 		var limit *core.LimitError
 		var deadline *core.DeadlineError
 		if errors.As(err, &limit) || errors.As(err, &deadline) {
-			return Detection{Timeout: true, Report: err.Error()}
+			return Detection{Timeout: true, Report: err.Error()}, false
 		}
-		return Detection{RunError: err.Error()}
+		var oom *core.ResourceError
+		if errors.As(err, &oom) {
+			// Hard guest-memory exhaustion: a stack or global allocation
+			// exceeded the budget. Deterministic for a given program and
+			// budget — the report quotes the configured limit only.
+			return Detection{OOM: true, Report: err.Error()}, false
+		}
+		var ie *core.InternalError
+		if errors.As(err, &ie) {
+			return Detection{RunError: err.Error()}, true
+		}
+		return Detection{RunError: err.Error()}, false
 	}
 	d = Detection{}
 	if res.Bug != nil {
@@ -180,7 +282,7 @@ func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 		if len(res.Diagnostics) > 0 {
 			d.Diag = res.Diagnostics[0]
 		}
-		return d
+		return d, false
 	}
 	if res.Fault != nil {
 		d.Crashed = true
@@ -192,7 +294,7 @@ func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 			d.Detected = true
 		}
 	}
-	return d
+	return d, false
 }
 
 // RunDetectionMatrix runs every corpus case under every tool, fanned out
@@ -239,6 +341,21 @@ func (m *MatrixResult) Timeouts() []string {
 	for _, c := range m.Cases {
 		for _, tool := range Tools() {
 			if m.Cells[c.Name][tool].Timeout {
+				out = append(out, fmt.Sprintf("%s / %s", c.Name, tool))
+			}
+		}
+	}
+	return out
+}
+
+// OOMs lists every cell classified OOM (hard guest-memory exhaustion), as
+// "case/tool" strings in deterministic (case, tool) order. Empty unless a
+// heap budget was configured.
+func (m *MatrixResult) OOMs() []string {
+	var out []string
+	for _, c := range m.Cases {
+		for _, tool := range Tools() {
+			if m.Cells[c.Name][tool].OOM {
 				out = append(out, fmt.Sprintf("%s / %s", c.Name, tool))
 			}
 		}
@@ -311,6 +428,18 @@ func (m *MatrixResult) Render() string {
 	if t := m.Timeouts(); len(t) > 0 {
 		b.WriteString("\nCells that exhausted their budget (timeout)\n")
 		for _, cell := range t {
+			fmt.Fprintf(&b, "  - %s\n", cell)
+		}
+	}
+	if o := m.OOMs(); len(o) > 0 {
+		b.WriteString("\nCells that exhausted the guest heap budget (oom)\n")
+		for _, cell := range o {
+			fmt.Fprintf(&b, "  - %s\n", cell)
+		}
+	}
+	if len(m.Quarantined) > 0 {
+		b.WriteString("\nQuarantined cells (persistent internal errors)\n")
+		for _, cell := range m.Quarantined {
 			fmt.Fprintf(&b, "  - %s\n", cell)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/fault"
 )
 
 // ForEach fans fn out over n items on a bounded worker pool. workers <= 0
@@ -92,6 +93,19 @@ type MatrixOptions struct {
 	// trips it is classified Timeout, and the rest of the matrix completes
 	// normally.
 	CaseTimeout time.Duration
+	// MaxHeapBytes / MaxAllocBytes bound per-cell guest memory (0 =
+	// unlimited / engine default). Hard exhaustion classifies the cell
+	// "oom" — deterministic, so renders match at any worker count.
+	MaxHeapBytes  int64
+	MaxAllocBytes int64
+	// FaultPlan injects deterministic guest allocation failures into every
+	// cell (see internal/fault.Plan).
+	FaultPlan fault.Plan
+	// MaxRetries re-runs cells that die with a contained engine panic up to
+	// this many extra times (bounded deterministic backoff); persistent
+	// failures are quarantined into MatrixResult.Quarantined instead of
+	// aborting the matrix. 0 = no retries.
+	MaxRetries int
 }
 
 // RunDetectionMatrixWith runs the corpus×tool evaluation matrix on a
@@ -114,7 +128,14 @@ func RunDetectionMatrixWith(opts MatrixOptions) *MatrixResult {
 	total := len(cases) * nt
 	grid := make([]Detection, total)
 
-	budget := CaseBudget{MaxSteps: opts.MaxSteps, Timeout: opts.CaseTimeout}
+	budget := CaseBudget{
+		MaxSteps:      opts.MaxSteps,
+		Timeout:       opts.CaseTimeout,
+		MaxHeapBytes:  opts.MaxHeapBytes,
+		MaxAllocBytes: opts.MaxAllocBytes,
+		FaultPlan:     opts.FaultPlan,
+		MaxRetries:    opts.MaxRetries,
+	}
 	var progressMu sync.Mutex
 	var done int
 	ForEach(total, opts.Workers, func(i int) {
@@ -141,6 +162,11 @@ func RunDetectionMatrixWith(opts MatrixOptions) *MatrixResult {
 			row[tool] = cell
 			if cell.Detected {
 				m.Totals[tool]++
+			}
+			if cell.Quarantined {
+				// Deterministic (case, tool) order: the grid is walked in
+				// index order regardless of which worker filled each cell.
+				m.Quarantined = append(m.Quarantined, fmt.Sprintf("%s / %s", c.Name, tool))
 			}
 		}
 		m.Cells[c.Name] = row

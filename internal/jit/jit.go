@@ -220,14 +220,20 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 			}
 			return func(e *core.Engine, fr *core.Frame) error {
 				n := getCnt(e, fr).I
-				p := e.AllocAuto(size*n, name, ty, fname, line)
+				p, err := e.AllocAuto(fr, size*n, name, ty, fname, line)
+				if err != nil {
+					return err
+				}
 				e.TrackAuto(fr, p)
 				fr.Regs[dst] = core.PtrValue(p)
 				return nil
 			}, nil
 		}
 		return func(e *core.Engine, fr *core.Frame) error {
-			p := e.AllocAuto(size, name, ty, fname, line)
+			p, err := e.AllocAuto(fr, size, name, ty, fname, line)
+			if err != nil {
+				return err
+			}
 			e.TrackAuto(fr, p)
 			fr.Regs[dst] = core.PtrValue(p)
 			return nil

@@ -3,6 +3,7 @@ package nativevm
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/nativemem"
 )
 
@@ -76,6 +77,45 @@ func (a *FreeListAlloc) SizeOf(addr uint64) (int64, bool) {
 	s, ok := a.sizes[addr]
 	return s, ok
 }
+
+// gatedAlloc wraps the configured heap allocator (default, ASan's, or
+// memcheck's) with the run's fault injector. Every guest malloc is charged
+// or denied *before* the inner allocator sees it, so heap budgets and fault
+// schedules produce identical NULL returns across all four engines, and a
+// denied request never maps host memory. It tracks the *requested* size per
+// block (inner allocators round to size classes and add redzones), so
+// Release returns exactly what ChargeHeap took.
+type gatedAlloc struct {
+	inner   Allocator
+	inj     *fault.Injector
+	charged map[uint64]int64
+}
+
+func (g *gatedAlloc) Malloc(size int64) uint64 {
+	if g.inj.ChargeHeap(size) != fault.OK {
+		return 0
+	}
+	addr := g.inner.Malloc(size)
+	if addr == 0 {
+		g.inj.Release(size) // inner allocator ran out of simulated heap
+		return 0
+	}
+	g.charged[addr] = size
+	return addr
+}
+
+func (g *gatedAlloc) Free(addr uint64) error {
+	err := g.inner.Free(addr)
+	if err == nil {
+		if sz, ok := g.charged[addr]; ok {
+			g.inj.Release(sz)
+			delete(g.charged, addr)
+		}
+	}
+	return err
+}
+
+func (g *gatedAlloc) SizeOf(addr uint64) (int64, bool) { return g.inner.SizeOf(addr) }
 
 // GlibcAbort models glibc detecting heap misuse and aborting the process.
 type GlibcAbort struct {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
 
@@ -56,6 +57,7 @@ func (m *Machine) callFrom(caller *Frame, idx int, args []Value, vaBase uint64, 
 		m.checker.StackFree(m.sp, fr.savedSP)
 	}
 	m.sp = fr.savedSP
+	m.inj.ReleaseFixed(fr.stackBytes) // return alloca bytes to the budget
 	return ret, err
 }
 
@@ -235,6 +237,9 @@ func (m *Machine) exec(fr *Frame) (Value, error) {
 }
 
 // stackAlloc carves a stack object, with optional tool redzones around it.
+// The object's bytes are charged against the run budget (released in the
+// call epilogue); exhaustion is hard — the machine cannot express a failed
+// alloca as a value — so it surfaces a *core.ResourceError ("oom").
 func (m *Machine) stackAlloc(fr *Frame, size, align int64) (uint64, error) {
 	rz := uint64(m.cfg.StackRedzone)
 	m.sp -= rz // redzone above the object
@@ -247,6 +252,17 @@ func (m *Machine) stackAlloc(fr *Frame, size, align int64) (uint64, error) {
 	m.sp -= rz // redzone below
 	if m.sp < m.stackLow {
 		return 0, &nativeFaultErr{addr: m.sp} // stack overflow
+	}
+	if m.inj.ChargeFixed(size) == fault.Exhausted {
+		return 0, &core.ResourceError{
+			Resource:  "stack",
+			Requested: size,
+			Limit:     m.inj.Limit(),
+			Guest:     m.CaptureStack(),
+		}
+	}
+	if fr != nil {
+		fr.stackBytes += size
 	}
 	if m.checker != nil {
 		m.checker.StackAlloc(addr, size)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/nativemem"
 )
@@ -53,6 +54,9 @@ type Frame struct {
 	VaCount int
 	savedSP uint64
 	frameLo uint64 // lowest sp reached by this frame's allocas
+	// stackBytes is the charged size of this frame's allocas; returned to
+	// the fault injector's budget in the call epilogue (sp restore).
+	stackBytes int64
 }
 
 // CallCtx is what a libc function receives: fixed args plus the variadic
@@ -112,6 +116,14 @@ type Config struct {
 	Stdout   io.Writer
 	MaxSteps int64
 	MaxDepth int
+	// MaxHeapBytes / MaxAllocBytes / FaultPlan mirror the managed engine's
+	// resource budget (core.Config): every guest heap allocation — whichever
+	// allocator the tool installed — is charged through one fault.Injector
+	// gate wrapped around Machine.Alloc, so budgets and fault schedules bind
+	// identically across all four engines. 0 = unlimited / no plan.
+	MaxHeapBytes  int64
+	MaxAllocBytes int64
+	FaultPlan     fault.Plan
 	// Governor, when non-nil, is the run's cooperative cancellation point:
 	// the machine polls it at basic-block boundaries and libc fast paths
 	// charge fuel against the same budget (execution governor).
@@ -132,6 +144,7 @@ type Machine struct {
 	perInstr   func(op int)
 	sp         uint64
 	stackLow   uint64
+	inj        *fault.Injector // heap budget + fault schedule (nil-safe)
 
 	Stdout *bufio.Writer
 	Stdin  *bufio.Reader
@@ -199,11 +212,19 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 	}
 	m.Stdin = bufio.NewReader(in)
 
+	m.inj = fault.NewInjector(cfg.FaultPlan, fault.Budget{
+		MaxHeapBytes:  cfg.MaxHeapBytes,
+		MaxAllocBytes: cfg.MaxAllocBytes,
+	})
 	if cfg.NewAllocator != nil {
 		m.Alloc = cfg.NewAllocator(m.Mem)
 	} else {
 		m.Alloc = NewFreeListAlloc(m.Mem)
 	}
+	// One gate in front of whichever allocator the tool installed: budgets
+	// and fault schedules apply before redzones/quarantine ever see the
+	// request, so all four engines observe identical allocation outcomes.
+	m.Alloc = &gatedAlloc{inner: m.Alloc, inj: m.inj, charged: map[uint64]int64{}}
 	// Tools that perform data-proportional shadow work (ASan's range
 	// checks, memcheck's A/V-bit updates) charge it against the machine's
 	// step budget so instrumented bulk operations cannot escape MaxSteps.
@@ -262,6 +283,9 @@ func (m *Machine) Output() string {
 // Steps reports executed instruction count.
 func (m *Machine) Steps() int64 { return m.steps }
 
+// MemStats exposes the fault plane's exact heap accounting for this run.
+func (m *Machine) MemStats() fault.Stats { return m.inj.Stats() }
+
 // AddSteps charges n steps of fuel without an inline budget check; the
 // exhaustion is observed at the next instruction boundary. Checker tools
 // use it for shadow bookkeeping (their interfaces have no error path).
@@ -296,6 +320,12 @@ func (m *Machine) layoutGlobals() error {
 		size := g.Ty.Size()
 		if size == 0 {
 			size = 1
+		}
+		// Globals are charged against the run budget before they are mapped:
+		// a huge global must not take down the host. C cannot report a
+		// failed global, so exhaustion is hard (classified "oom").
+		if m.inj.ChargeFixed(size) == fault.Exhausted {
+			return &core.ResourceError{Resource: "global", Requested: size, Limit: m.inj.Limit()}
 		}
 		m.Mem.Map(addr, uint64(size))
 		m.globalAddr[g.Name] = addr

@@ -17,13 +17,28 @@ func addStdlib(t map[string]nativevm.LibFunc, checked bool) {
 		return nativevm.IntVal(int64(m.Alloc.Malloc(c.Args[0].I))), nil
 	}
 	t["calloc"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
-		n := c.Args[0].I * c.Args[1].I
+		cnt, sz := c.Args[0].I, c.Args[1].I
+		// C11 7.22.3.2: if cnt*sz overflows, calloc must fail — wrapping to
+		// a small allocation is the classic exploitable bug. The negative
+		// sentinel still reaches the allocator gate so the denied attempt is
+		// counted (the fault plan's coordinate system is the call sequence).
+		if cnt < 0 || sz < 0 || (sz != 0 && cnt > math.MaxInt64/sz) {
+			m.Alloc.Malloc(-1)
+			return nativevm.IntVal(0), nil
+		}
+		n := cnt * sz
 		addr := m.Alloc.Malloc(n)
+		if addr == 0 {
+			return nativevm.IntVal(0), nil
+		}
 		for i := int64(0); i < n; i++ {
 			m.Mem.StoreByte(addr+uint64(i), 0)
 		}
 		return nativevm.IntVal(int64(addr)), nil
 	}
+	// realloc follows glibc (DESIGN.md §10): realloc(NULL,n) == malloc(n);
+	// realloc(p,0) frees p and returns NULL; a failed grow returns NULL and
+	// leaves the old block untouched (C11 7.22.3.5).
 	t["realloc"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
 		old := uint64(c.Args[0].I)
 		size := c.Args[1].I
@@ -34,7 +49,16 @@ func addStdlib(t map[string]nativevm.LibFunc, checked bool) {
 		if !ok {
 			return nativevm.Value{}, &nativevm.GlibcAbort{What: "realloc(): invalid pointer", Addr: old}
 		}
+		if size == 0 {
+			if err := m.Alloc.Free(old); err != nil {
+				return nativevm.Value{}, err
+			}
+			return nativevm.IntVal(0), nil
+		}
 		addr := m.Alloc.Malloc(size)
+		if addr == 0 {
+			return nativevm.IntVal(0), nil // old block stays live and valid
+		}
 		n := oldSize
 		if size < n {
 			n = size

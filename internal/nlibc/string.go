@@ -273,6 +273,9 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 			return nativevm.Value{}, err
 		}
 		dst := m.Alloc.Malloc(n + 1)
+		if dst == 0 {
+			return nativevm.IntVal(0), nil // allocation denied: strdup returns NULL
+		}
 		data, f := m.Mem.ReadBytes(s, n+1)
 		if f != nil {
 			return nativevm.Value{}, f

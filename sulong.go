@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/jit"
 	"repro/internal/pipeline"
@@ -109,6 +110,20 @@ type Config struct {
 	// polls at basic-block boundaries; expiry surfaces as a
 	// *core.DeadlineError. Use RunCtx for caller-driven cancellation.
 	Timeout time.Duration
+	// MaxHeapBytes bounds cumulative live guest memory — heap plus stack
+	// plus globals — in every engine (0 = unlimited). Heap exhaustion is
+	// soft: guest malloc returns NULL, which C programs can handle. Stack
+	// or global exhaustion is hard: it surfaces as a *core.ResourceError
+	// and the harness classifies the run "oom".
+	MaxHeapBytes int64
+	// MaxAllocBytes bounds a single heap request (0 = engine default of
+	// 2 GiB); over-cap requests fail softly like a real malloc.
+	MaxAllocBytes int64
+	// FaultPlan injects deterministic guest allocation failures (fail the
+	// n-th malloc, fail after N bytes, seeded-random failures) identically
+	// in every tier, so the guest's own `if (!p)` error paths are actually
+	// exercised. The zero plan injects nothing.
+	FaultPlan fault.Plan
 	// DetectLeaks turns on leak reporting at exit (managed engine only).
 	DetectLeaks bool
 	// DetectUseAfterReturn reports accesses to stack objects of functions
@@ -259,6 +274,9 @@ func runManaged(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) 
 		Stdin:                cfg.Stdin,
 		Stdout:               cfg.Stdout,
 		MaxSteps:             cfg.MaxSteps,
+		MaxHeapBytes:         cfg.MaxHeapBytes,
+		MaxAllocBytes:        cfg.MaxAllocBytes,
+		FaultPlan:            cfg.FaultPlan,
 		Governor:             gov,
 		DetectLeaks:          cfg.DetectLeaks,
 		DetectUseAfterReturn: cfg.DetectUseAfterReturn,
