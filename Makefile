@@ -9,9 +9,9 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck bench clean
 
-check: fmt vet build test race faultcheck
+check: fmt vet build test race faultcheck perfcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -56,6 +56,14 @@ diagcheck:
 faultcheck:
 	$(GO) test -race -timeout 120s -run 'Fault|Calloc|MallocZero|Realloc|HeapBudget|HeapDenial|AllocAuto|NullPlusOffset|OOM|Retry|Quarantin|Sweep' ./...
 	$(GO) run ./cmd/bugbench -faultsweep -sweepmax 3
+
+# Peak-performance gate: one benchgame program under every performance
+# configuration (native anchors, sanitized engines, each managed JIT
+# ablation) with zero tolerated bail-outs, the tier-parity step/output
+# sweep on the benchmark programs, and a schema check of the committed
+# BENCH_PR5.json baseline — all under the race detector.
+perfcheck:
+	$(GO) test -race -timeout 120s -run 'PerfCheck|BenchBaseline|TierParityBenchmarks|HoistedCheck|CoalescedRun|FramePoolFaultReuse' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

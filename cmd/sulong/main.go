@@ -129,7 +129,15 @@ func finish(res sulong.Result, err error, engine, jsonOut string) {
 		os.Exit(2)
 	}
 	if jsonOut != "" {
-		data, jerr := json.MarshalIndent(res.Diagnostics, "", "  ")
+		// The report carries the structured diagnostics plus the tier-1
+		// compiler's activity: a bail-out never changes behavior — the
+		// function just stays interpreted — so it must be visible here
+		// rather than diagnosed from a mysteriously slow run.
+		payload := struct {
+			Diagnostics interface{}       `json:"diagnostics"`
+			JIT         *sulong.JITReport `json:"jit,omitempty"`
+		}{res.Diagnostics, res.JIT}
+		data, jerr := json.MarshalIndent(payload, "", "  ")
 		if jerr == nil {
 			jerr = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
 		}

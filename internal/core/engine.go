@@ -91,6 +91,10 @@ type Config struct {
 	Tier1 Tier1Compiler
 	// Tier1Threshold is the call count that triggers compilation (default 50).
 	Tier1Threshold int64
+	// NoFramePool disables activation-record reuse (ablation benchmarks and
+	// the recorded baseline rows): every call allocates a fresh Frame, as the
+	// engine did before the tier-2 peak-performance layer.
+	NoFramePool bool
 	// OnCompile is invoked when a function is tier-1 compiled (Fig. 15's
 	// compilation-event annotations).
 	OnCompile func(name string)
@@ -142,6 +146,13 @@ type Engine struct {
 	envObjs map[string]*Object
 	stats   Stats
 	mem     *fault.Injector // heap budget + fault schedule (nil-safe)
+
+	// framePool is a LIFO free-list of activation records. The engine is
+	// single-threaded, so no locking; frames are reset on release (registers
+	// zeroed, auto/vararg references dropped) so no pointer, diagnostic
+	// stack, or fault-plane state can leak from one call — or one run — into
+	// the next. Bounded by the live call depth, since release is LIFO.
+	framePool []*Frame
 
 	// callStack is the live guest call stack: one frame per active call,
 	// holding the *caller's* function and the call-site line. It is a
@@ -203,6 +214,13 @@ func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
 // Module returns the module being executed.
 func (e *Engine) Module() *ir.Module { return e.mod }
 
+// IsBuiltin reports whether the function at idx is dispatched to a native
+// builtin (the tier-1 compiler must not inline or arg-buffer-optimize those:
+// builtins may re-enter guest code while still reading their argument slice).
+func (e *Engine) IsBuiltin(idx int) bool {
+	return idx >= 0 && idx < len(e.builtins) && e.builtins[idx] != nil
+}
+
 // ChargeSteps is the unified fuel account: it charges n instruction steps
 // against the engine's budget and polls the run governor. The tier-0
 // interpreter charges one step per instruction; tier-1 compiled code calls
@@ -219,6 +237,13 @@ func (e *Engine) ChargeSteps(n int64) error {
 	}
 	return nil
 }
+
+// RefundSteps returns n steps to the budget. Tier-1 compiled code charges a
+// basic block's full cost on entry; when an instruction inside the block
+// faults, the closure refunds the cost of the instructions that never ran,
+// so Stats.Steps on a faulting run is byte-identical to the tier-0
+// interpreter's charge-per-instruction accounting.
+func (e *Engine) RefundSteps(n int64) { e.steps -= n }
 
 // PushCall records a call edge: the caller's function and the call-site
 // line. Every executor (tier-0 interpreter, tier-1 compiled closures) pushes
@@ -565,7 +590,8 @@ func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error)
 		return Value{}, &LimitError{What: fmt.Sprintf("call depth %d (stack overflow in %s)", e.maxDepth, f.Name)}
 	}
 
-	fr := &Frame{Fn: f, Regs: make([]Value, f.NumRegs), VarArgs: varargs}
+	fr := e.getFrame(f)
+	fr.VarArgs = varargs
 	nFixed := len(f.Sig.Params)
 	for i := 0; i < nFixed && i < len(args); i++ {
 		fr.Regs[i] = args[i]
@@ -583,6 +609,7 @@ func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error)
 				obj.InvalidateReturned()
 			}
 		}
+		e.putFrame(fr)
 	}()
 
 	// Tier-1 dispatch: compiled functions bypass the interpreter.
@@ -604,6 +631,96 @@ func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error)
 	}
 	e.stats.InterpCalls++
 	return e.interpret(fr)
+}
+
+// getFrame takes an activation record from the free-list (or allocates one)
+// and sizes its register file for f. Pooled frames were scrubbed on release,
+// so the registers a fresh activation observes are zero Values exactly as if
+// newly allocated — tier-0 "fresh frame" semantics are preserved.
+func (e *Engine) getFrame(f *ir.Func) *Frame {
+	need := f.NumRegs
+	if n := len(e.framePool); n > 0 && !e.cfg.NoFramePool {
+		fr := e.framePool[n-1]
+		e.framePool[n-1] = nil
+		e.framePool = e.framePool[:n-1]
+		fr.Fn = f
+		if cap(fr.Regs) >= need {
+			fr.Regs = fr.Regs[:need]
+		} else {
+			fr.Regs = make([]Value, need)
+		}
+		return fr
+	}
+	return &Frame{Fn: f, Regs: make([]Value, need)}
+}
+
+// putFrame scrubs a dead activation record and returns it to the free-list.
+// The reset is total: register Values are zeroed (dropping any managed
+// pointers, so pooled frames cannot keep dead objects — or the diagnostic
+// stacks recorded on them — alive), boxed vararg cells and tracked autos are
+// released, and the fault-plane byte account is cleared. A reused frame is
+// observationally identical to a fresh one.
+func (e *Engine) putFrame(fr *Frame) {
+	if e.cfg.NoFramePool {
+		return
+	}
+	regs := fr.Regs[:cap(fr.Regs)]
+	for i := range regs {
+		regs[i] = Value{}
+	}
+	for i := range fr.VarArgs {
+		fr.VarArgs[i] = Pointer{}
+	}
+	fr.VarArgs = nil
+	for i := range fr.Autos {
+		fr.Autos[i] = nil
+	}
+	fr.Autos = fr.Autos[:0]
+	fr.Fn = nil
+	fr.stackBytes = 0
+	e.framePool = append(e.framePool, fr)
+}
+
+// InlineScope snapshots the caller-frame state that an inlined call must
+// restore when it returns: the fault-plane stack-byte account and the tracked
+// auto objects. Tier-1 inlining runs a callee's blocks against the caller's
+// frame (in a disjoint register window); Enter/LeaveInline make that
+// execution observationally identical to a real activation — same call
+// accounting, same depth limit and error message, same alloca release point,
+// and same use-after-return invalidation.
+type InlineScope struct {
+	stackBytes int64
+	nAutos     int
+}
+
+// EnterInline begins an inlined activation of callee against fr. It performs
+// exactly the bookkeeping invoke does for a real call — Stats.Calls, then the
+// depth check (in that order, so counters and stack-overflow reports match
+// tier-0 byte-for-byte).
+func (e *Engine) EnterInline(fr *Frame, callee string) (InlineScope, error) {
+	e.stats.Calls++
+	if e.depth >= e.maxDepth {
+		return InlineScope{}, &LimitError{What: fmt.Sprintf("call depth %d (stack overflow in %s)", e.maxDepth, callee)}
+	}
+	e.depth++
+	return InlineScope{stackBytes: fr.stackBytes, nAutos: len(fr.Autos)}, nil
+}
+
+// LeaveInline ends an inlined activation: the callee's alloca bytes go back
+// to the budget and, under use-after-return detection, the callee's stack
+// objects are invalidated — at the same point a real frame pop would.
+// It must run on both the normal and the error path (mirroring invoke's
+// deferred cleanup).
+func (e *Engine) LeaveInline(fr *Frame, sc InlineScope) {
+	e.depth--
+	e.mem.ReleaseFixed(fr.stackBytes - sc.stackBytes)
+	fr.stackBytes = sc.stackBytes
+	if e.cfg.DetectUseAfterReturn {
+		for _, obj := range fr.Autos[sc.nAutos:] {
+			obj.InvalidateReturned()
+		}
+	}
+	fr.Autos = fr.Autos[:sc.nAutos]
 }
 
 // TrackAuto registers a stack object with its owning frame for

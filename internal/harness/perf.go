@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -19,17 +20,20 @@ import (
 type PerfConfig int
 
 const (
-	ClangO0         PerfConfig = iota // native machine, unoptimized IR
-	ClangO3                           // native machine, optimized IR
-	ASanPerf                          // ASan-instrumented, unoptimized IR
-	ValgrindPerf                      // memcheck-hosted, unoptimized IR
-	SafeSulongPerf                    // managed engine with the tier-1 compiler
-	SafeSulongNoJIT                   // ablation: tier-0 interpreter only
+	ClangO0            PerfConfig = iota // native machine, unoptimized IR
+	ClangO3                              // native machine, optimized IR
+	ASanPerf                             // ASan-instrumented, unoptimized IR
+	ValgrindPerf                         // memcheck-hosted, unoptimized IR
+	SafeSulongPerf                       // managed engine with the tier-1 compiler (tier-2 peak layer on)
+	SafeSulongNoJIT                      // ablation: tier-0 interpreter only
+	SafeSulongBaseline                   // ablation: tier-1 without the tier-2 peak layer or frame pooling (the pre-tier-2 compiler)
+	SafeSulongNoInline                   // ablation: tier-2 with the inliner off
 )
 
 var perfNames = [...]string{
 	ClangO0: "Clang -O0", ClangO3: "Clang -O3", ASanPerf: "ASan -O0",
 	ValgrindPerf: "Valgrind", SafeSulongPerf: "Safe Sulong", SafeSulongNoJIT: "Safe Sulong (no JIT)",
+	SafeSulongBaseline: "Safe Sulong (baseline)", SafeSulongNoInline: "Safe Sulong (no inline)",
 }
 
 func (p PerfConfig) String() string {
@@ -51,10 +55,24 @@ type Runner interface {
 	RunIteration() error
 	// CompiledFunctions reports tier-1 compilations so far (managed only).
 	CompiledFunctions() int
+	// JITStats reports tier-1 compiler activity (zero for native runners).
+	JITStats() RunnerJITStats
+}
+
+// RunnerJITStats mirrors the tier-1 compiler's counters for benchmark
+// reports: a bail-out or a missing inline shows up here instead of as an
+// unexplained slow row.
+type RunnerJITStats struct {
+	Compiled    int      `json:"compiled"`
+	InstrsTotal int      `json:"instrs_total"`
+	Bailed      int      `json:"bailed"`
+	BailReasons []string `json:"bail_reasons,omitempty"`
+	Inlined     int      `json:"inlined"`
 }
 
 type managedRunner struct {
 	eng      *core.Engine
+	comp     *jit.Compiler
 	compiled int
 }
 
@@ -64,6 +82,19 @@ func (r *managedRunner) RunIteration() error {
 }
 
 func (r *managedRunner) CompiledFunctions() int { return r.compiled }
+
+func (r *managedRunner) JITStats() RunnerJITStats {
+	if r.comp == nil {
+		return RunnerJITStats{}
+	}
+	return RunnerJITStats{
+		Compiled:    r.comp.Compiled,
+		InstrsTotal: r.comp.InstrsTotal,
+		Bailed:      r.comp.Bailed,
+		BailReasons: r.comp.BailReasons,
+		Inlined:     r.comp.Inlined,
+	}
+}
 
 type nativeRunner struct {
 	m *nativevm.Machine
@@ -76,10 +107,12 @@ func (r *nativeRunner) RunIteration() error {
 
 func (r *nativeRunner) CompiledFunctions() int { return 0 }
 
+func (r *nativeRunner) JITStats() RunnerJITStats { return RunnerJITStats{} }
+
 // NewRunner prepares an in-process repeat runner for a benchmark program.
 func NewRunner(cfgKind PerfConfig, src, arg string) (Runner, error) {
 	switch cfgKind {
-	case SafeSulongPerf, SafeSulongNoJIT:
+	case SafeSulongPerf, SafeSulongNoJIT, SafeSulongBaseline, SafeSulongNoInline:
 		mod, err := sulong.CompileOnly(src)
 		if err != nil {
 			return nil, err
@@ -92,8 +125,20 @@ func NewRunner(cfgKind PerfConfig, src, arg string) (Runner, error) {
 				r.compiled++
 			},
 		}
-		if cfgKind == SafeSulongPerf {
-			ecfg.Tier1 = jit.New()
+		switch cfgKind {
+		case SafeSulongPerf:
+			r.comp = jit.New()
+		case SafeSulongBaseline:
+			// The pre-tier-2 tier-1 compiler: scalar promotion and closure
+			// lowering, but no peak layer and no frame pooling. This is the
+			// honest "before" row for the recorded benchmark baseline.
+			r.comp = &jit.Compiler{DisableTier2: true}
+			ecfg.NoFramePool = true
+		case SafeSulongNoInline:
+			r.comp = &jit.Compiler{DisableInline: true}
+		}
+		if r.comp != nil {
+			ecfg.Tier1 = r.comp
 			ecfg.Tier1Threshold = 25
 		}
 		eng, err := core.NewEngine(mod, ecfg)
@@ -245,6 +290,10 @@ type PeakResult struct {
 	Bench string
 	// Time per configuration (median of samples after warm-up).
 	Times map[PerfConfig]time.Duration
+	// JIT carries the tier-1 compiler counters per managed configuration
+	// (compiled/bailed/inlined), so a bail-out can be asserted against
+	// instead of read off a slow row.
+	JIT map[PerfConfig]RunnerJITStats
 }
 
 // Relative returns the ratio of a configuration's time to Clang -O0
@@ -270,7 +319,11 @@ func MeasurePeak(bench benchprog.Benchmark, arg string, warmups, samples int, cf
 	if samples <= 0 {
 		samples = 10
 	}
-	res := PeakResult{Bench: bench.Name, Times: map[PerfConfig]time.Duration{}}
+	res := PeakResult{
+		Bench: bench.Name,
+		Times: map[PerfConfig]time.Duration{},
+		JIT:   map[PerfConfig]RunnerJITStats{},
+	}
 	// Prepare every configuration's runner up front on the worker pool: the
 	// compile work (and module-cache population) overlaps across
 	// configurations, while the timed iterations below stay strictly serial
@@ -292,6 +345,11 @@ func MeasurePeak(bench benchprog.Benchmark, arg string, warmups, samples int, cf
 				return res, fmt.Errorf("%s under %v (warmup): %w", bench.Name, cfgKind, err)
 			}
 		}
+		// Collect garbage left over from warm-up (and from the previous
+		// configuration's run) off the clock, so a GC cycle triggered by an
+		// earlier configuration's allocations doesn't land inside a timed
+		// iteration — at sub-millisecond iteration times that skews medians.
+		runtime.GC()
 		times := make([]time.Duration, 0, samples)
 		for i := 0; i < samples; i++ {
 			t0 := time.Now()
@@ -302,6 +360,7 @@ func MeasurePeak(bench benchprog.Benchmark, arg string, warmups, samples int, cf
 		}
 		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 		res.Times[cfgKind] = times[len(times)/2]
+		res.JIT[cfgKind] = r.JITStats()
 	}
 	return res, nil
 }

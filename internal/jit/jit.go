@@ -1,13 +1,20 @@
 // Package jit is Safe Sulong's tier-1 dynamic compiler — the Graal analogue.
 // When the engine reports a function hot, the compiler clones its IR,
 // applies *safety-preserving* optimizations (scalar promotion of
-// non-escaping locals, constant folding, copy cleanup — never dead-store or
-// dead-load elimination, which would erase bugs), and lowers each basic
-// block to a flat slice of specialized Go closures with pre-resolved
-// operands. The result keeps every bounds/NULL/free check — this is the
-// paper's "optimizes based on safe semantics [and] cannot optimize away
-// invalid accesses" property — while eliminating the tier-0 interpreter's
-// dispatch and operand-decoding overhead.
+// non-escaping locals, constant folding, copy propagation, loop-invariant
+// hoisting of pure computations — never dead-store or dead-load
+// elimination, which would erase bugs), and lowers each basic block to a
+// flat slice of specialized Go closures with pre-resolved operands. The
+// tier-2 peak-performance layer adds leaf-function inlining, gep+access
+// superinstructions with coalesced range checks, and inline caches for
+// indirect calls. The result keeps every bounds/NULL/free check observable
+// — this is the paper's "optimizes based on safe semantics [and] cannot
+// optimize away invalid accesses" property (§4.2) — while eliminating the
+// tier-0 interpreter's dispatch and operand-decoding overhead.
+//
+// Fuel contract: every basic block charges its weight-accounted cost on
+// entry and refunds the unexecuted remainder when an instruction faults, so
+// Stats.Steps is byte-identical to tier 0 on clean *and* faulting runs.
 package jit
 
 import (
@@ -18,17 +25,55 @@ import (
 	"repro/internal/opt"
 )
 
+// Inlining budgets: only leaf functions (no calls, no varargs) up to
+// inlineMaxInstrs instructions are inlined, and at most inlineMaxTotal
+// instructions of callee code may be inlined into one caller.
+const (
+	inlineMaxInstrs = 40
+	inlineMaxTotal  = 256
+	maxBailReasons  = 16
+)
+
 // Compiler implements core.Tier1Compiler.
 type Compiler struct {
-	// Compiled counts tier-1 compiled functions; InstrsTotal their size.
+	// Compiled counts tier-1 compiled functions; InstrsTotal their size
+	// (both committed only when a compilation succeeds, so a bail-out never
+	// skews the totals).
 	Compiled    int
 	InstrsTotal int
-	// DisableMem2Reg turns off scalar promotion (ablation benchmarks).
+	// Bailed counts compilations abandoned back to the interpreter, and
+	// BailReasons records why (capped; "func: reason"). A silent bail-out
+	// shows up in benchmarks only as slow numbers — these counters make it
+	// visible in perfbench -json and sulong -json.
+	Bailed      int
+	BailReasons []string
+	// Inlined counts call sites expanded by the tier-2 inliner.
+	Inlined int
+	// DisableMem2Reg turns off scalar promotion and every later pass
+	// (ablation benchmarks: the tier-0-shaped closure compiler).
 	DisableMem2Reg bool
+	// DisableTier2 turns off the tier-2 peak layer (copy propagation,
+	// address CSE, hoisting, fusion, inlining, inline caches), reproducing
+	// the pre-tier-2 compiler for the recorded baseline rows.
+	DisableTier2 bool
+	// DisableInline turns off just the inliner (ablation row).
+	DisableInline bool
+
+	// per-Compile state
+	nextReg      int // first free register (inline windows grow this)
+	inlinedInstr int // callee instructions inlined so far
 }
 
 // New returns a tier-1 compiler.
 func New() *Compiler { return &Compiler{} }
+
+// bail abandons the current compilation, recording why.
+func (c *Compiler) bail(fn string, err error) {
+	c.Bailed++
+	if len(c.BailReasons) < maxBailReasons {
+		c.BailReasons = append(c.BailReasons, fmt.Sprintf("%s: %v", fn, err))
+	}
+}
 
 // step executes one non-terminator instruction.
 type step func(e *core.Engine, fr *core.Frame) error
@@ -40,47 +85,53 @@ type term func(e *core.Engine, fr *core.Frame) (next int, ret core.Value, done b
 type block struct {
 	body []step
 	term term
-	// cost is the fuel charged when the block executes: its instruction
-	// count (body + terminator). Charging per block instead of per closure
-	// keeps compiled code cheap while making Config.MaxSteps binding in
-	// tier 1 — before this accounting existed, a hot loop that compiled
-	// executed zero-cost forever and MaxSteps was silently unenforced.
+	// cost is the fuel charged when the block executes: the weight-account
+	// sum of its instructions (weights fold when tier-2 passes remove or
+	// fuse instructions, so the cost equals what the tier-0 interpreter
+	// would charge). Charging per block instead of per closure keeps
+	// compiled code cheap while making Config.MaxSteps binding in tier 1.
 	cost int64
+	// refund[i] is the fuel handed back when body[i] returns an error: the
+	// summed weights of the instructions after i that never ran. This keeps
+	// Stats.Steps on a faulting run byte-identical to tier-0's
+	// charge-per-instruction accounting even with tier-2 restructuring.
+	refund []int64
 }
 
-// Compile lowers the function at fidx to closures.
+// Compile lowers the function at fidx to closures. A nil result means the
+// function stays in the interpreter (and is counted in Bailed).
 func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 	orig := e.Module().Funcs[fidx]
 	f := cloneForJIT(orig)
+	w := opt.NewWeights(f)
 	if !c.DisableMem2Reg {
 		opt.Mem2Reg(f)
 		opt.FoldConstants(f)
-		sweepMoves(f)
-	}
-	blocks := make([]block, len(f.Blocks))
-	for bi, b := range f.Blocks {
-		var body []step
-		n := len(b.Instrs)
-		for i := 0; i < n-1; i++ {
-			s, err := c.compileStep(e, f, &b.Instrs[i])
-			if err != nil {
-				return nil // bail out: stay in the interpreter
-			}
-			body = append(body, s)
+		if !c.DisableTier2 {
+			opt.CopyPropagate(f)
+			opt.CSEAddresses(f)
+			opt.CopyPropagate(f)
+			w = opt.HoistLoopInvariants(f, w)
 		}
-		t, err := c.compileTerm(e, f, &b.Instrs[n-1])
-		if err != nil {
-			return nil
-		}
-		blocks[bi].body = body
-		blocks[bi].term = t
-		blocks[bi].cost = int64(n)
-		c.InstrsTotal += n
+		opt.SweepDeadMoves(f, w)
 	}
+	c.nextReg = f.NumRegs
+	c.inlinedInstr = 0
+
+	blocks, instrs, err := c.lowerFunc(e, f, w)
+	if err != nil {
+		c.bail(orig.Name, err)
+		return nil // bail out: stay in the interpreter
+	}
+	// Commit the stats only on success: a compilation that bails after
+	// lowering a few blocks must not inflate InstrsTotal (it produced no
+	// compiled code).
 	c.Compiled++
-	numRegs := f.NumRegs
+	c.InstrsTotal += instrs
+	numRegs := c.nextReg
 	return func(e *core.Engine, fr *core.Frame) (core.Value, error) {
-		// The clone may have added registers (promoted scalars).
+		// The clone may have added registers (promoted scalars, hoisted
+		// temporaries, inline windows).
 		if len(fr.Regs) < numRegs {
 			regs := make([]core.Value, numRegs)
 			copy(regs, fr.Regs)
@@ -96,8 +147,9 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 			if err := e.ChargeSteps(b.cost); err != nil {
 				return core.Value{}, err
 			}
-			for _, s := range b.body {
+			for i, s := range b.body {
 				if err := s(e, fr); err != nil {
+					e.RefundSteps(b.refund[i])
 					return core.Value{}, err
 				}
 			}
@@ -111,6 +163,109 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 			blk = next
 		}
 	}
+}
+
+// lowerFunc lowers every block of f (whose weight account is w) and returns
+// the blocks plus the instruction count.
+func (c *Compiler) lowerFunc(e *core.Engine, f *ir.Func, w opt.Weights) ([]block, int, error) {
+	uses := regUsesJIT(f, c.nextReg)
+	blocks := make([]block, len(f.Blocks))
+	instrs := 0
+	for bi, b := range f.Blocks {
+		lb, err := c.lowerBlock(e, f, b, w[bi], uses)
+		if err != nil {
+			return nil, 0, err
+		}
+		blocks[bi] = lb
+		instrs += len(b.Instrs)
+	}
+	return blocks, instrs, nil
+}
+
+// lowerBlock lowers one basic block: instruction closures with per-step
+// weights (for fault refunds), tier-2 superinstruction fusion, and the
+// cmp+condbr terminator fusion.
+func (c *Compiler) lowerBlock(e *core.Engine, f *ir.Func, b *ir.Block, bw []int64, uses []int) (block, error) {
+	n := len(b.Instrs)
+	tier2 := !c.DisableMem2Reg && !c.DisableTier2
+	var body []step
+	var wts []int64
+	i := 0
+	last := n - 1 // terminator index
+
+	// cmp+condbr fusion: when the final non-terminator is a comparison
+	// consumed only by the conditional branch, evaluate it inside the
+	// terminator closure (one dispatch instead of two). Its weight moves to
+	// the terminator; neither instruction can fault, so refunds are
+	// unaffected.
+	fuseCmp := false
+	if tier2 && n >= 2 {
+		cmp := &b.Instrs[n-2]
+		t := &b.Instrs[n-1]
+		if cmp.Op == ir.OpCmp && t.Op == ir.OpCondBr &&
+			t.A.Kind == ir.OperReg && t.A.Reg == cmp.Dst &&
+			cmp.Dst >= 0 && cmp.Dst < len(uses) && uses[cmp.Dst] == 1 {
+			fuseCmp = true
+			last = n - 2
+		}
+	}
+
+	for i < last {
+		if tier2 {
+			// Coalesced same-object access runs (≥2 gep+access pairs).
+			if st, consumed, wt, err := c.tryRun(e, f, b.Instrs[i:last], bw[i:]); err != nil {
+				return block{}, err
+			} else if consumed > 0 {
+				body = append(body, st)
+				wts = append(wts, wt)
+				i += consumed
+				continue
+			}
+			// gep+load / gep+store superinstruction.
+			if i+1 < last {
+				if st, ok, err := c.tryFusePair(e, f, &b.Instrs[i], &b.Instrs[i+1]); err != nil {
+					return block{}, err
+				} else if ok {
+					body = append(body, st)
+					wts = append(wts, bw[i]+bw[i+1])
+					i += 2
+					continue
+				}
+			}
+		}
+		st, err := c.compileStep(e, f, &b.Instrs[i])
+		if err != nil {
+			return block{}, err
+		}
+		body = append(body, st)
+		wts = append(wts, bw[i])
+		i++
+	}
+
+	var t term
+	var err error
+	termWeight := bw[n-1]
+	if fuseCmp {
+		t, err = c.compileFusedCmpBr(e, &b.Instrs[n-2], &b.Instrs[n-1])
+		termWeight += bw[n-2]
+	} else {
+		t, err = c.compileTerm(e, f, &b.Instrs[n-1])
+	}
+	if err != nil {
+		return block{}, err
+	}
+
+	cost := termWeight
+	for _, x := range wts {
+		cost += x
+	}
+	refund := make([]int64, len(wts))
+	var prefix int64
+	for j, x := range wts {
+		prefix += x
+		refund[j] = cost - prefix
+	}
+	return block{body: body, term: t, cost: cost, refund: refund}, nil
 }
 
 // cloneForJIT deep-copies one function so tier-1 optimization cannot
@@ -132,13 +287,15 @@ func cloneForJIT(f *ir.Func) *ir.Func {
 	return nf
 }
 
-// sweepMoves removes bitcast moves whose destination is never read — the
-// residue of promoted allocas. (Full DCE would be unsafe: it could delete
-// checked loads; moves are pure by construction.)
-func sweepMoves(f *ir.Func) {
-	uses := make([]int, f.NumRegs)
+// regUsesJIT counts operand reads per register (array sized to cover the
+// possibly-remapped register space).
+func regUsesJIT(f *ir.Func, size int) []int {
+	if size < f.NumRegs {
+		size = f.NumRegs
+	}
+	uses := make([]int, size)
 	mark := func(o ir.Operand) {
-		if o.Kind == ir.OperReg {
+		if o.Kind == ir.OperReg && o.Reg >= 0 && o.Reg < size {
 			uses[o.Reg]++
 		}
 	}
@@ -155,19 +312,7 @@ func sweepMoves(f *ir.Func) {
 			}
 		}
 	}
-	for _, b := range f.Blocks {
-		dst := b.Instrs[:0]
-		for _, in := range b.Instrs {
-			if in.Op == ir.OpCast && in.Cast == ir.Bitcast && in.Dst >= 0 && uses[in.Dst] == 0 && len(b.Instrs) > 1 && !ir.IsTerminator(in.Op) {
-				continue
-			}
-			dst = append(dst, in)
-		}
-		if len(dst) == 0 {
-			dst = b.Instrs[:1] // never leave a block empty
-		}
-		b.Instrs = dst
-	}
+	return uses
 }
 
 // getter resolves one operand; the decode happens at compile time.
@@ -240,45 +385,35 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 		}, nil
 
 	case ir.OpLoad:
-		getAddr, err := c.compileOperand(e, in.Addr)
-		if err != nil {
-			return nil, err
-		}
-		dst := in.Dst
-		ty := in.Ty
-		return func(e *core.Engine, fr *core.Frame) error {
-			v, be := e.LoadTyped(getAddr(e, fr).P, ty)
-			if be != nil {
-				return e.Located(be, fname, line)
-			}
-			fr.Regs[dst] = v
-			return nil
-		}, nil
+		return c.compileLoad(e, in, fname, line)
 
 	case ir.OpStore:
-		getAddr, err := c.compileOperand(e, in.Addr)
-		if err != nil {
-			return nil, err
-		}
-		getVal, err := c.compileOperand(e, in.A)
-		if err != nil {
-			return nil, err
-		}
-		ty := in.Ty
-		return func(e *core.Engine, fr *core.Frame) error {
-			if be := e.StoreTyped(getAddr(e, fr).P, ty, getVal(e, fr)); be != nil {
-				return e.Located(be, fname, line)
-			}
-			return nil
-		}, nil
+		return c.compileStore(e, in, fname, line)
 
 	case ir.OpGEP:
+		dst := in.Dst
+		stride := in.Stride
+		if in.Addr.Kind == ir.OperReg {
+			base := in.Addr.Reg
+			if in.A.Kind == ir.OperConstInt {
+				delta := stride * in.A.Int
+				return func(e *core.Engine, fr *core.Frame) error {
+					fr.Regs[dst] = core.PtrValue(fr.Regs[base].P.Add(delta))
+					return nil
+				}, nil
+			}
+			if in.A.Kind == ir.OperReg {
+				idx := in.A.Reg
+				return func(e *core.Engine, fr *core.Frame) error {
+					fr.Regs[dst] = core.PtrValue(fr.Regs[base].P.Add(stride * fr.Regs[idx].I))
+					return nil
+				}, nil
+			}
+		}
 		getAddr, err := c.compileOperand(e, in.Addr)
 		if err != nil {
 			return nil, err
 		}
-		dst := in.Dst
-		stride := in.Stride
 		if in.A.Kind == ir.OperConstInt {
 			delta := stride * in.A.Int
 			return func(e *core.Engine, fr *core.Frame) error {
@@ -305,10 +440,6 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 		return c.compileCast(e, in)
 
 	case ir.OpSelect:
-		getC, err := c.compileOperand(e, in.A)
-		if err != nil {
-			return nil, err
-		}
 		getT, err := c.compileOperand(e, in.B)
 		if err != nil {
 			return nil, err
@@ -318,6 +449,21 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 			return nil, err
 		}
 		dst := in.Dst
+		if in.A.Kind == ir.OperReg {
+			cond := in.A.Reg
+			return func(e *core.Engine, fr *core.Frame) error {
+				if fr.Regs[cond].I != 0 {
+					fr.Regs[dst] = getT(e, fr)
+				} else {
+					fr.Regs[dst] = getF(e, fr)
+				}
+				return nil
+			}, nil
+		}
+		getC, err := c.compileOperand(e, in.A)
+		if err != nil {
+			return nil, err
+		}
 		return func(e *core.Engine, fr *core.Frame) error {
 			if getC(e, fr).I != 0 {
 				fr.Regs[dst] = getT(e, fr)
@@ -341,11 +487,20 @@ func (c *Compiler) compileTerm(e *core.Engine, f *ir.Func, in *ir.Instr) (term, 
 			return next, core.Value{}, false, nil
 		}, nil
 	case ir.OpCondBr:
+		t, fl := in.Blk0, in.Blk1
+		if in.A.Kind == ir.OperReg {
+			cond := in.A.Reg
+			return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+				if fr.Regs[cond].I != 0 {
+					return t, core.Value{}, false, nil
+				}
+				return fl, core.Value{}, false, nil
+			}, nil
+		}
 		getC, err := c.compileOperand(e, in.A)
 		if err != nil {
 			return nil, err
 		}
-		t, fl := in.Blk0, in.Blk1
 		return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
 			if getC(e, fr).I != 0 {
 				return t, core.Value{}, false, nil
@@ -372,6 +527,12 @@ func (c *Compiler) compileTerm(e *core.Engine, f *ir.Func, in *ir.Instr) (term, 
 		if in.A.Kind == ir.OperNone {
 			return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
 				return 0, core.Value{}, true, nil
+			}, nil
+		}
+		if in.A.Kind == ir.OperReg {
+			r := in.A.Reg
+			return func(e *core.Engine, fr *core.Frame) (int, core.Value, bool, error) {
+				return 0, fr.Regs[r], true, nil
 			}, nil
 		}
 		getV, err := c.compileOperand(e, in.A)

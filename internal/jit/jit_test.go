@@ -1,6 +1,7 @@
 package jit
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -215,5 +216,67 @@ entry:
 	e.CallByName("f", nil)
 	if comp.Compiled != 1 || comp.InstrsTotal == 0 {
 		t.Errorf("stats: %+v", comp)
+	}
+}
+
+// TestBailDoesNotInflateStats pins the compile-stats contract: a bail-out —
+// even one that happens after earlier blocks lowered successfully — must
+// leave Compiled and InstrsTotal untouched, count Bailed, and record a
+// reason. Before this was enforced, a bail mid-function leaked the already-
+// lowered instructions into InstrsTotal, skewing the per-function average.
+func TestBailDoesNotInflateStats(t *testing.T) {
+	m, err := ir.Parse(`module "t"
+func @bad fn(i64) i64 regs 4 {
+entry:
+  %r1 = add i64 %r0, 1
+  br body
+body:
+  %r2 = mul i64 %r1, 2
+  ret i64 %r2
+}
+func @good fn() i64 regs 2 {
+entry:
+  %r0 = add i64 40, 2
+  ret i64 %r0
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt an operand in @bad's SECOND block: the entry block lowers
+	// fine, so a buggy accounting path would have already added its
+	// instructions before the failure.
+	m.Funcs[0].Blocks[1].Instrs[0].A.Kind = ir.OperandKind(99)
+	e, err := core.NewEngine(m, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := New()
+	if got := comp.Compile(e, 0); got != nil {
+		t.Fatal("corrupted function compiled")
+	}
+	if comp.Bailed != 1 || comp.Compiled != 0 || comp.InstrsTotal != 0 {
+		t.Errorf("after bail: Bailed=%d Compiled=%d InstrsTotal=%d, want 1/0/0",
+			comp.Bailed, comp.Compiled, comp.InstrsTotal)
+	}
+	if len(comp.BailReasons) != 1 || !strings.HasPrefix(comp.BailReasons[0], "bad: ") {
+		t.Errorf("bail reason not recorded: %q", comp.BailReasons)
+	}
+
+	// A healthy function still compiles on the same compiler, and only its
+	// instructions are counted.
+	if got := comp.Compile(e, 1); got == nil {
+		t.Fatal("good function failed to compile")
+	}
+	if comp.Compiled != 1 || comp.InstrsTotal == 0 {
+		t.Errorf("after success: Compiled=%d InstrsTotal=%d", comp.Compiled, comp.InstrsTotal)
+	}
+	instrs := comp.InstrsTotal
+
+	// A second bail still moves only the bail counters.
+	comp.Compile(e, 0)
+	if comp.Bailed != 2 || comp.Compiled != 1 || comp.InstrsTotal != instrs {
+		t.Errorf("after second bail: Bailed=%d Compiled=%d InstrsTotal=%d, want 2/1/%d",
+			comp.Bailed, comp.Compiled, comp.InstrsTotal, instrs)
 	}
 }

@@ -1,0 +1,151 @@
+package sulong_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/harness"
+)
+
+// TestPerfCheckSmoke is `make perfcheck`'s runtime half: one benchgame
+// program under every performance configuration — the native anchors, the
+// sanitized engines, and each managed JIT ablation — for a handful of
+// iterations each, under the race detector. The managed configurations must
+// compile without a single bail-out: a bail never changes behavior, but on
+// the benchmark programs the tier-2 layer was built for, silently staying in
+// the interpreter is a performance regression this gate exists to catch.
+func TestPerfCheckSmoke(t *testing.T) {
+	b, err := benchprog.Get("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []harness.PerfConfig{
+		harness.ClangO0, harness.ClangO3, harness.ASanPerf, harness.ValgrindPerf,
+		harness.SafeSulongNoJIT, harness.SafeSulongBaseline,
+		harness.SafeSulongNoInline, harness.SafeSulongPerf,
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			r, err := harness.NewRunner(cfg, b.Source, b.SmallArg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enough iterations to cross the tier-1 compile threshold (25)
+			// so the bail-out assertion below is about compiled code, not a
+			// cold interpreter.
+			for i := 0; i < 30; i++ {
+				if err := r.RunIteration(); err != nil {
+					t.Fatalf("iteration %d: %v", i, err)
+				}
+			}
+			js := r.JITStats()
+			if js.Bailed != 0 {
+				t.Errorf("%d bail-out(s) on a benchgame program: %v", js.Bailed, js.BailReasons)
+			}
+			switch cfg {
+			case harness.SafeSulongPerf, harness.SafeSulongBaseline, harness.SafeSulongNoInline:
+				if js.Compiled == 0 {
+					t.Error("tier-1 compiled nothing after 30 iterations")
+				}
+			}
+		})
+	}
+}
+
+// TestBenchBaselineSchema is `make perfcheck`'s artifact half: the committed
+// BENCH_PR5.json must parse against the recorded-baseline schema, carry a
+// row per managed ablation for every benchmark, report zero bail-outs in its
+// compiled rows, and have met the tier-2 speedup target when it was recorded.
+func TestBenchBaselineSchema(t *testing.T) {
+	data, err := os.ReadFile("BENCH_PR5.json")
+	if err != nil {
+		t.Fatalf("recorded baseline missing (run `go run ./cmd/perfbench -record BENCH_PR5.json`): %v", err)
+	}
+	var rep struct {
+		Schema  string `json:"schema"`
+		Warmups int    `json:"warmups"`
+		Samples int    `json:"samples"`
+		Startup []struct {
+			Tool   string  `json:"tool"`
+			TimeMs float64 `json:"timeMs"`
+		} `json:"startup"`
+		Warmup []struct {
+			Second     int `json:"second"`
+			Iterations int `json:"iterations"`
+		} `json:"warmup"`
+		Benches []struct {
+			Bench string `json:"bench"`
+			Rows  []struct {
+				Config    string  `json:"config"`
+				TimeMs    float64 `json:"time_ms"`
+				VsClangO0 float64 `json:"vs_clang_o0"`
+				JIT       *struct {
+					Compiled int      `json:"compiled"`
+					Bailed   int      `json:"bailed"`
+					Reasons  []string `json:"bail_reasons"`
+				} `json:"jit"`
+			} `json:"rows"`
+			Tier2Speedup float64 `json:"tier2_speedup_vs_baseline"`
+		} `json:"benches"`
+		Summary struct {
+			Target    float64 `json:"target_speedup"`
+			Geomean   float64 `json:"compute_bound_geomean_speedup"`
+			MetTarget bool    `json:"met_target"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_PR5.json does not parse: %v", err)
+	}
+	if rep.Schema != "sulong-bench/pr5" {
+		t.Fatalf("schema = %q, want sulong-bench/pr5", rep.Schema)
+	}
+	if rep.Warmups < 30 || rep.Samples < 15 {
+		t.Errorf("recorded with warmups=%d samples=%d; protocol floor is 30/15", rep.Warmups, rep.Samples)
+	}
+	if len(rep.Startup) == 0 || len(rep.Warmup) == 0 {
+		t.Error("startup or warmup section empty")
+	}
+	if want := len(benchprog.All()); len(rep.Benches) != want {
+		t.Errorf("benches: got %d rows, want %d", len(rep.Benches), want)
+	}
+	wantRows := map[string]bool{
+		"Clang -O0": false, "Safe Sulong (no JIT)": false,
+		"Safe Sulong (baseline)": false, "Safe Sulong (no inline)": false,
+		"Safe Sulong": false,
+	}
+	for _, b := range rep.Benches {
+		seen := map[string]bool{}
+		for _, row := range b.Rows {
+			seen[row.Config] = true
+			if row.TimeMs <= 0 {
+				t.Errorf("%s/%s: non-positive time %v", b.Bench, row.Config, row.TimeMs)
+			}
+			if row.JIT != nil && row.JIT.Bailed != 0 {
+				t.Errorf("%s/%s: recorded run had %d bail-out(s): %v",
+					b.Bench, row.Config, row.JIT.Bailed, row.JIT.Reasons)
+			}
+		}
+		for cfg := range wantRows {
+			if !seen[cfg] {
+				t.Errorf("%s: missing row for %q", b.Bench, cfg)
+			}
+		}
+		if b.Tier2Speedup <= 0 {
+			t.Errorf("%s: tier2_speedup_vs_baseline = %v", b.Bench, b.Tier2Speedup)
+		}
+	}
+	if rep.Summary.Target != 1.5 {
+		t.Errorf("target_speedup = %v, want 1.5", rep.Summary.Target)
+	}
+	if !rep.Summary.MetTarget {
+		t.Errorf("recorded baseline did not meet the %.1fx target (geomean %.2fx)",
+			rep.Summary.Target, rep.Summary.Geomean)
+	}
+	if rep.Summary.Geomean < rep.Summary.Target {
+		t.Errorf("met_target set but geomean %.2fx < target %.1fx", rep.Summary.Geomean, rep.Summary.Target)
+	}
+}

@@ -154,6 +154,24 @@ type Result struct {
 	Diagnostics []*diag.Diagnostic
 	// Stats carries engine counters (managed engine).
 	Stats core.Stats
+	// JIT reports tier-1 compiler activity (nil unless Config.JIT). A
+	// bail-out is invisible in correctness terms — the function simply stays
+	// interpreted — so benchmarks and CI must be able to *see* it here
+	// rather than diagnose a silent slowdown.
+	JIT *JITReport
+}
+
+// JITReport summarizes one run's tier-1 compiler activity.
+type JITReport struct {
+	// Compiled counts functions lowered to tier-1 closures; InstrsTotal
+	// their pre-lowering instruction count (committed only on success).
+	Compiled    int `json:"compiled"`
+	InstrsTotal int `json:"instrs_total"`
+	// Bailed counts abandoned compilations; BailReasons says why (capped).
+	Bailed      int      `json:"bailed"`
+	BailReasons []string `json:"bail_reasons,omitempty"`
+	// Inlined counts call sites expanded by the tier-2 inliner.
+	Inlined int `json:"inlined"`
 }
 
 // CompileOnly compiles a C program (user source plus the bundled libc) to an
@@ -282,8 +300,10 @@ func runManaged(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) 
 		DetectUseAfterReturn: cfg.DetectUseAfterReturn,
 		OnCompile:            cfg.OnCompile,
 	}
+	var comp *jit.Compiler
 	if cfg.JIT {
-		ecfg.Tier1 = jit.New()
+		comp = jit.New()
+		ecfg.Tier1 = comp
 		ecfg.Tier1Threshold = cfg.JITThreshold
 	}
 	eng, err := core.NewEngine(mod, ecfg)
@@ -292,6 +312,15 @@ func runManaged(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) 
 	}
 	code, err := eng.Run()
 	res := Result{ExitCode: code, Stdout: eng.Output(), Stats: eng.Stats()}
+	if comp != nil {
+		res.JIT = &JITReport{
+			Compiled:    comp.Compiled,
+			InstrsTotal: comp.InstrsTotal,
+			Bailed:      comp.Bailed,
+			BailReasons: comp.BailReasons,
+			Inlined:     comp.Inlined,
+		}
+	}
 	if cfg.DetectLeaks {
 		res.Leaks = eng.Leaks()
 	}

@@ -1,0 +1,98 @@
+package sulong_test
+
+import (
+	"strings"
+	"testing"
+
+	sulong "repro"
+	"repro/internal/benchprog"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+// TestTierParityStepsAndOutput runs the full corpus under tier-0 and under
+// forced tier-2 (compile on first call, all peak optimizations on) and
+// requires *semantic* equality beyond the diagnostics parity test: the same
+// program output and the byte-identical Stats.Steps count. The step count is
+// the strictest observable the weight account must preserve — inlined
+// callees, fused gep+access superinstructions, hoisted invariants, and
+// coalesced range checks all charge exactly what the tier-0 interpreter
+// charges, on clean and on faulting runs.
+func TestTierParityStepsAndOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep skipped in -short mode")
+	}
+	for _, c := range corpus.All() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			interp := runTier(t, c, false)
+			jitted := runTier(t, c, true)
+			if interp.Stdout != jitted.Stdout {
+				t.Errorf("stdout diverges:\n--- tier-0 ---\n%s\n--- tier-2 ---\n%s",
+					interp.Stdout, jitted.Stdout)
+			}
+			if interp.Stats.Steps != jitted.Stats.Steps {
+				t.Errorf("step accounting diverges: tier-0 %d, tier-2 %d (Δ %d)",
+					interp.Stats.Steps, jitted.Stats.Steps,
+					jitted.Stats.Steps-interp.Stats.Steps)
+			}
+			if interp.Stats.Calls != jitted.Stats.Calls {
+				t.Errorf("call accounting diverges: tier-0 %d, tier-2 %d",
+					interp.Stats.Calls, jitted.Stats.Calls)
+			}
+		})
+	}
+}
+
+// TestTierParityBenchmarks checks output, exit-code, and step parity on the
+// nine benchgame programs — the workloads the tier-2 optimizer was tuned on,
+// and the ones exercising inlining, fusion, and hoisting hardest.
+func TestTierParityBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark sweep skipped in -short mode")
+	}
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func(jit bool) sulong.Result {
+				cfg := sulong.Config{
+					Engine:   sulong.EngineSafeSulong,
+					Args:     []string{b.SmallArg},
+					Stdin:    strings.NewReader(""),
+					MaxSteps: harness.DefaultMaxSteps,
+					JIT:      jit,
+				}
+				if jit {
+					cfg.JITThreshold = 1
+				}
+				res, err := sulong.Run(b.Source, cfg)
+				if err != nil {
+					t.Fatalf("%s (jit=%v): %v", b.Name, jit, err)
+				}
+				return res
+			}
+			interp := run(false)
+			jitted := run(true)
+			if interp.ExitCode != jitted.ExitCode {
+				t.Errorf("exit codes diverge: tier-0 %d, tier-2 %d", interp.ExitCode, jitted.ExitCode)
+			}
+			if interp.Stdout != jitted.Stdout {
+				d0, d1 := interp.Stdout, jitted.Stdout
+				if len(d0) > 600 {
+					d0 = d0[:600] + "…"
+				}
+				if len(d1) > 600 {
+					d1 = d1[:600] + "…"
+				}
+				t.Errorf("stdout diverges:\n--- tier-0 ---\n%s\n--- tier-2 ---\n%s", d0, d1)
+			}
+			if interp.Stats.Steps != jitted.Stats.Steps {
+				t.Errorf("step accounting diverges: tier-0 %d, tier-2 %d (Δ %d)",
+					interp.Stats.Steps, jitted.Stats.Steps,
+					jitted.Stats.Steps-interp.Stats.Steps)
+			}
+		})
+	}
+}
