@@ -9,9 +9,9 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck bench clean
 
-check: fmt vet build test race faultcheck perfcheck
+check: fmt vet build test race faultcheck perfcheck tiercheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -63,7 +63,16 @@ faultcheck:
 # sweep on the benchmark programs, and a schema check of the committed
 # BENCH_PR5.json baseline — all under the race detector.
 perfcheck:
-	$(GO) test -race -timeout 120s -run 'PerfCheck|BenchBaseline|TierParityBenchmarks|HoistedCheck|CoalescedRun|FramePoolFaultReuse' ./...
+	$(GO) test -race -timeout 120s -run 'PerfCheck|BenchBaseline|BenchPR6|TierParityBenchmarks|HoistedCheck|CoalescedRun|FramePoolFaultReuse' ./...
+
+# Tiering gate: the asynchronous pipeline under the race detector — the
+# full-corpus forced-OSR parity sweep (background compile on first call, OSR
+# at the first back edge, speculation on; clean and fault-injected), the
+# single-call-loop OSR and exact-instruction deopt pins, and the governor
+# cancellation race against an in-flight background compilation (no leaked
+# workers, nothing installed after teardown).
+tiercheck:
+	$(GO) test -race -timeout 120s -run 'TierCheck|AsyncCompile|AsyncClose' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

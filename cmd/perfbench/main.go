@@ -13,11 +13,19 @@
 //	perfbench -matrix [-parallel N]    # corpus-matrix wall clock, serial vs parallel
 //	perfbench -matrix -timeout 5s      # with a per-cell wall-clock deadline
 //	perfbench ... -json out.json       # machine-readable report (cache stats included)
-//	perfbench -record BENCH_PR5.json   # the tier-2 benchmark protocol: startup,
-//	                                   # warm-up, and peak rows for every managed
-//	                                   # ablation (no JIT / baseline tier-1 /
-//	                                   # no-inline / full tier-2), with the
+//	perfbench -record BENCH_PR6.json   # the tiering benchmark protocol: startup,
+//	                                   # per-second warm-up timelines (iterations
+//	                                   # plus cumulative compile/OSR/deopt events)
+//	                                   # for the interpreter, synchronous tier-2,
+//	                                   # async tier-2, and async+OSR, and peak
+//	                                   # rows for every managed ablation with the
 //	                                   # compiler's bail-out and inline counters
+//
+// The recorded warm-up runs force a deliberately high tier-up threshold so
+// compilation is *visible* in the timeline: events land across several
+// one-second buckets instead of disappearing into bucket 1, and the
+// time-to-peak column shows what background compilation and on-stack
+// replacement buy during those seconds.
 package main
 
 import (
@@ -86,7 +94,7 @@ func main() {
 	cellTimeout := flag.Duration("timeout", 0, "per-cell wall-clock deadline for -matrix (0 = none)")
 	maxSteps := flag.Int64("maxsteps", 0, "per-cell step budget for -matrix (0 = harness default)")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
-	record := flag.String("record", "", "record the tier-2 benchmark baseline to this file (BENCH_PR5.json protocol)")
+	record := flag.String("record", "", "record the tiering benchmark baseline to this file (BENCH_PR6.json protocol)")
 	flag.Parse()
 
 	if *record != "" {
@@ -226,28 +234,48 @@ func main() {
 	}
 }
 
-// ---- the tier-2 benchmark protocol (-record) ----
+// ---- the tiering benchmark protocol (-record) ----
 
-// baselineReport is the committed BENCH_PR5.json schema: one startup row per
-// tool, the warm-up curve for the full tier-2 engine, and a peak row per
-// benchmark per managed ablation, with the compiler's own counters so a
-// silent bail-out (which would make a "tier-2" row secretly interpreted)
-// is visible in the record itself.
+// baselineReport is the committed BENCH_PR6.json schema: one startup row per
+// tool, a per-configuration warm-up timeline (per-second iterations plus
+// cumulative compile/OSR/deopt events), and a peak row per benchmark per
+// managed ablation, with the compiler's own counters so a silent bail-out
+// (which would make a "tier-2" row secretly interpreted) is visible in the
+// record itself. It extends the PR 5 protocol; BENCH_PR5.json remains
+// committed under its own schema.
 type baselineReport struct {
 	Schema     string          `json:"schema"`
 	RecordedAt string          `json:"recorded_at"`
 	Warmups    int             `json:"warmups"`
 	Samples    int             `json:"samples"`
 	Startup    []startupEntry  `json:"startup"`
-	Warmup     []warmupRow     `json:"warmup"`
+	Warmup     []warmupCurve   `json:"warmup"`
 	Benches    []baselineBench `json:"benches"`
 	Summary    baselineSummary `json:"summary"`
 }
 
-type warmupRow struct {
-	Second     int `json:"second"`
-	Iterations int `json:"iterations"`
-	Compiled   int `json:"compiled"`
+// warmupCurve is one configuration's Fig. 15 timeline. TimeToPeakSec is the
+// first one-second bucket whose iteration rate reaches 90% of the curve's
+// best bucket — the warm-up cost in wall-clock seconds.
+type warmupCurve struct {
+	Config         string        `json:"config"`
+	Tier1Threshold int64         `json:"tier1_threshold,omitempty"`
+	OSRThreshold   int64         `json:"osr_threshold,omitempty"`
+	Rows           []timelineRow `json:"rows"`
+	PeakItersPerS  int           `json:"peak_iterations_per_sec"`
+	TimeToPeakSec  int           `json:"time_to_peak_sec"`
+}
+
+// timelineRow is one second of a warm-up curve. The event counters are
+// cumulative at bucket end, so a row whose Compiled exceeds the previous
+// row's records compilation landing *in* that second.
+type timelineRow struct {
+	Second      int `json:"second"`
+	Iterations  int `json:"iterations"`
+	Compiled    int `json:"compiled"`
+	OSRCompiled int `json:"osr_compiled"`
+	OSREntries  int `json:"osr_entries"`
+	Deopts      int `json:"deopts"`
 }
 
 type baselineBench struct {
@@ -269,12 +297,33 @@ type baselineSummary struct {
 	ComputeBoundGeomeanSpeedup float64 `json:"compute_bound_geomean_speedup"`
 	ComputeBoundMinSpeedup     float64 `json:"compute_bound_min_speedup"`
 	MetTarget                  bool    `json:"met_target"`
+	// Warm-up comparison under the forced-high tier-up threshold: seconds to
+	// reach 90% of peak rate with synchronous tier-up vs async+OSR.
+	TimeToPeakSyncSec     int  `json:"time_to_peak_sync_sec"`
+	TimeToPeakAsyncOSRSec int  `json:"time_to_peak_async_osr_sec"`
+	AsyncOSRWarmsUpFaster bool `json:"async_osr_warms_up_faster"`
 }
+
+// pr6WarmupThreshold is the deliberately high tier-up threshold for the
+// recorded warm-up timelines. At the historical threshold of 25 every
+// compilation lands inside the first one-second bucket and the timeline is
+// flat — meteor's hot functions see thousands of calls per second, so even
+// a few hundred calls cross almost immediately. At 50000 calls the entry
+// compilations spread across the first several one-second buckets, so the
+// curves actually show the difference between waiting for call counts
+// (synchronous and plain async tier-up) and entering hot loops
+// mid-iteration via OSR, whose back-edge threshold is independent of the
+// call threshold.
+const pr6WarmupThreshold = 50000
+
+// pr6WarmupWindow bounds each warm-up timeline capture.
+const pr6WarmupWindow = 6 * time.Second
 
 // recordBaseline runs the full protocol and writes the report. The managed
 // ablations are: tier-0 only (no JIT), the pre-tier-2 compiler (baseline),
-// tier-2 with the inliner off, and the full tier-2 peak layer; Clang -O0
-// anchors the relative column.
+// tier-2 with the inliner off, the full tier-2 peak layer with synchronous
+// tier-up, background (async) tier-up, and async tier-up with on-stack
+// replacement; Clang -O0 anchors the relative column.
 func recordBaseline(path string, warmups, samples int) {
 	// The protocol's floor: every hot function must cross the tier-1 compile
 	// threshold (25 calls) during warm-up, or the "baseline"/"tier-2" rows
@@ -292,15 +341,17 @@ func recordBaseline(path string, warmups, samples int) {
 		harness.SafeSulongBaseline,
 		harness.SafeSulongNoInline,
 		harness.SafeSulongPerf,
+		harness.SafeSulongAsync,
+		harness.SafeSulongAsyncOSR,
 	}
 	rep := baselineReport{
-		Schema:     "sulong-bench/pr5",
+		Schema:     "sulong-bench/pr6",
 		RecordedAt: time.Now().UTC().Format(time.RFC3339),
 		Warmups:    warmups,
 		Samples:    samples,
 	}
 
-	fmt.Println("Recording tier-2 benchmark baseline...")
+	fmt.Println("Recording tiering benchmark baseline...")
 	fmt.Println("  start-up (hello world, average of 10 runs)")
 	st, err := harness.MeasureStartup(10)
 	check(err)
@@ -308,14 +359,22 @@ func recordBaseline(path string, warmups, samples int) {
 		rep.Startup = append(rep.Startup, startupEntry{Tool: r.Tool.String(), TimeMs: ms(r.Time)})
 	}
 
-	fmt.Println("  warm-up (meteor, 3s window, full tier-2)")
 	wb, err := benchprog.Get("meteor")
 	check(err)
-	wu, err := harness.MeasureWarmup(wb, wb.SmallArg, 3*time.Second, time.Second,
-		[]harness.PerfConfig{harness.SafeSulongPerf})
-	check(err)
-	for _, s := range wu[harness.SafeSulongPerf] {
-		rep.Warmup = append(rep.Warmup, warmupRow{Second: s.Bucket + 1, Iterations: s.Iterations, Compiled: s.Compiled})
+	warmupCfgs := []harness.PerfConfig{
+		harness.ClangO0,
+		harness.SafeSulongNoJIT,
+		harness.SafeSulongPerf,
+		harness.SafeSulongAsync,
+		harness.SafeSulongAsyncOSR,
+	}
+	wopts := harness.RunnerOptions{Tier1Threshold: pr6WarmupThreshold}
+	for _, cfg := range warmupCfgs {
+		fmt.Printf("  warm-up timeline: %v (meteor, %v window)\n", cfg, pr6WarmupWindow)
+		wu, err := harness.MeasureWarmupOpts(wb, wb.SmallArg, pr6WarmupWindow, time.Second,
+			[]harness.PerfConfig{cfg}, wopts)
+		check(err)
+		rep.Warmup = append(rep.Warmup, makeCurve(cfg, wu[cfg]))
 	}
 
 	var rows []harness.PeakResult
@@ -361,17 +420,24 @@ func recordBaseline(path string, warmups, samples int) {
 	if len(speedups) > 0 {
 		geomean = math.Exp(logSum / float64(len(speedups)))
 	}
+	syncPeak := curveTimeToPeak(rep.Warmup, harness.SafeSulongPerf.String())
+	osrPeak := curveTimeToPeak(rep.Warmup, harness.SafeSulongAsyncOSR.String())
 	rep.Summary = baselineSummary{
 		TargetSpeedup:              1.5,
 		ComputeBoundGeomeanSpeedup: geomean,
 		ComputeBoundMinSpeedup:     minSpeedup,
 		MetTarget:                  geomean >= 1.5,
+		TimeToPeakSyncSec:          syncPeak,
+		TimeToPeakAsyncOSRSec:      osrPeak,
+		AsyncOSRWarmsUpFaster:      osrPeak < syncPeak,
 	}
 
 	fmt.Println()
 	fmt.Print(harness.RenderPeak(rows, cfgs))
 	fmt.Printf("\ntier-2 vs baseline tier-1, compute-bound benchmarks: geomean %.2fx, min %.2fx (target 1.5x: %v)\n",
 		geomean, minSpeedup, rep.Summary.MetTarget)
+	fmt.Printf("time to 90%%-of-peak at tier-up threshold %d: sync %ds, async+OSR %ds\n",
+		pr6WarmupThreshold, syncPeak, osrPeak)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	check(err)
@@ -381,6 +447,57 @@ func recordBaseline(path string, warmups, samples int) {
 		fmt.Fprintln(os.Stderr, "perfbench: tier-2 speedup target not met")
 		os.Exit(1)
 	}
+}
+
+// makeCurve converts one configuration's warm-up samples into the recorded
+// timeline: per-second rows plus the 90%-of-peak warm-up time. The trailing
+// sample covers a partial bucket (the capture window rarely ends on a bucket
+// boundary), so it is kept in the rows but excluded from rate analysis.
+func makeCurve(cfg harness.PerfConfig, samples []harness.WarmupSample) warmupCurve {
+	c := warmupCurve{Config: cfg.String()}
+	switch cfg {
+	case harness.SafeSulongPerf, harness.SafeSulongAsync, harness.SafeSulongAsyncOSR:
+		c.Tier1Threshold = pr6WarmupThreshold
+	}
+	if cfg == harness.SafeSulongAsyncOSR {
+		c.OSRThreshold = sulong.DefaultOSRThreshold
+	}
+	for _, s := range samples {
+		c.Rows = append(c.Rows, timelineRow{
+			Second:      s.Bucket + 1,
+			Iterations:  s.Iterations,
+			Compiled:    s.Compiled,
+			OSRCompiled: s.OSRCompiled,
+			OSREntries:  s.OSREntries,
+			Deopts:      s.Deopts,
+		})
+	}
+	full := c.Rows
+	if len(full) > 1 {
+		full = full[:len(full)-1]
+	}
+	for _, r := range full {
+		if r.Iterations > c.PeakItersPerS {
+			c.PeakItersPerS = r.Iterations
+		}
+	}
+	for _, r := range full {
+		if r.Iterations*10 >= c.PeakItersPerS*9 {
+			c.TimeToPeakSec = r.Second
+			break
+		}
+	}
+	return c
+}
+
+// curveTimeToPeak looks up a configuration's recorded warm-up time by name.
+func curveTimeToPeak(curves []warmupCurve, config string) int {
+	for _, c := range curves {
+		if c.Config == config {
+			return c.TimeToPeakSec
+		}
+	}
+	return 0
 }
 
 func check(err error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/diag"
 	"repro/internal/fault"
@@ -27,8 +28,11 @@ func PtrValue(p Pointer) Value   { return Value{P: p} }
 
 // Frame is one managed activation record.
 type Frame struct {
-	Fn   *ir.Func
-	Regs []Value
+	Fn *ir.Func
+	// FnIdx is Fn's module index (set by invoke); the back-edge profiler
+	// keys OSR requests on it without a name lookup.
+	FnIdx int
+	Regs  []Value
 	// VarArgs holds the boxed variadic arguments for this call: one managed
 	// cell per extra argument (paper §3.4, "Variadic argument errors").
 	VarArgs []Pointer
@@ -91,13 +95,33 @@ type Config struct {
 	Tier1 Tier1Compiler
 	// Tier1Threshold is the call count that triggers compilation (default 50).
 	Tier1Threshold int64
+	// AsyncJIT moves tier-1 compilation off the execution thread onto a
+	// bounded background pool owned by the engine: tier-0 keeps running
+	// while hot functions compile, and finished code is installed at the
+	// next dispatch point. Engines created with AsyncJIT must be Closed.
+	AsyncJIT bool
+	// JITWorkers bounds the background compile pool (default 1, max 4).
+	JITWorkers int
+	// OSRThreshold is the per-loop back-edge count that triggers an
+	// on-stack-replacement entry compilation (0 = OSR off). Effective only
+	// when Tier1 also implements OSRCompiler.
+	OSRThreshold int64
+	// NoSpeculate disables speculative deopting fast paths in OSR entries
+	// (ablation: frame-compatible compilation with generic accesses only).
+	NoSpeculate bool
 	// NoFramePool disables activation-record reuse (ablation benchmarks and
 	// the recorded baseline rows): every call allocates a fresh Frame, as the
 	// engine did before the tier-2 peak-performance layer.
 	NoFramePool bool
 	// OnCompile is invoked when a function is tier-1 compiled (Fig. 15's
-	// compilation-event annotations).
+	// compilation-event annotations). Under AsyncJIT it fires at install
+	// time, on the engine thread.
 	OnCompile func(name string)
+	// OnOSR is invoked when an OSR entry is installed; OnDeopt when
+	// speculative code transfers back to tier-0. Both run on the engine
+	// thread (warmup-curve capture in the harness).
+	OnOSR   func(name string)
+	OnDeopt func(name string)
 }
 
 // Stats captures execution counters. The Heap* and fault fields mirror the
@@ -113,6 +137,16 @@ type Stats struct {
 	Tier1Calls  int64
 	InterpCalls int64
 	LeaksFound  int
+
+	// Async tiering counters. OSRCompiled counts installed OSR entries,
+	// OSREntries transfers into them, Deopts speculative transfers back to
+	// tier-0, AsyncInstalls background compilations published at a dispatch
+	// point. All are engine-thread counters — unlike Steps/Calls they are
+	// timing-dependent and excluded from tier parity.
+	OSRCompiled   int64
+	OSREntries    int64
+	Deopts        int64
+	AsyncInstalls int64
 
 	// Heap accounting from the fault plane (internal/fault.Stats).
 	HeapAllocs     int64
@@ -146,6 +180,21 @@ type Engine struct {
 	envObjs map[string]*Object
 	stats   Stats
 	mem     *fault.Injector // heap budget + fault schedule (nil-safe)
+
+	// Async tiering state (tierup.go). pool is the background compile pool
+	// (nil in synchronous mode); queued dedups in-flight requests; the osr*
+	// maps hold per-(function, header) back-edge counts and installed OSR
+	// entries; specBad is the deopt blacklist, shared with background
+	// compile workers under specMu.
+	pool       *tierPool
+	closeOnce  sync.Once
+	queued     map[tierKey]bool
+	osrComp    OSRCompiler
+	osrOn      bool
+	osrEntries map[int64]CompiledFunc
+	osrCounts  map[int64]int64
+	specMu     sync.Mutex
+	specBad    map[specSite]bool
 
 	// framePool is a LIFO free-list of activation records. The engine is
 	// single-threaded, so no locking; frames are reset on release (registers
@@ -207,6 +256,17 @@ func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
 	}
 	if err := e.initGlobals(); err != nil {
 		return nil, err
+	}
+	if cfg.Tier1 != nil {
+		if oc, ok := cfg.Tier1.(OSRCompiler); ok && cfg.OSRThreshold > 0 {
+			e.osrComp = oc
+			e.osrOn = true
+			e.osrEntries = make(map[int64]CompiledFunc)
+			e.osrCounts = make(map[int64]int64)
+		}
+		if cfg.AsyncJIT {
+			e.startPool()
+		}
 	}
 	return e, nil
 }
@@ -591,6 +651,7 @@ func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error)
 	}
 
 	fr := e.getFrame(f)
+	fr.FnIdx = idx
 	fr.VarArgs = varargs
 	nFixed := len(f.Sig.Params)
 	for i := 0; i < nFixed && i < len(args); i++ {
@@ -612,21 +673,34 @@ func (e *Engine) invoke(idx int, args []Value, varargs []Pointer) (Value, error)
 		e.putFrame(fr)
 	}()
 
+	// Safe publication point: background compilations finished since the
+	// last dispatch become visible here, between guest instructions.
+	if e.pool != nil && e.pool.pending.Load() {
+		e.installReady()
+	}
 	// Tier-1 dispatch: compiled functions bypass the interpreter.
 	if cf := e.compiled[idx]; cf != nil {
 		e.stats.Tier1Calls++
 		return cf(e, fr)
 	}
 	e.counts[idx]++
-	if e.cfg.Tier1 != nil && e.counts[idx] == e.cfg.Tier1Threshold {
-		if cf := e.cfg.Tier1.Compile(e, idx); cf != nil {
-			e.compiled[idx] = cf
-			e.stats.Tier1Funcs++
-			if e.cfg.OnCompile != nil {
-				e.cfg.OnCompile(f.Name)
+	if e.cfg.Tier1 != nil {
+		if e.pool != nil {
+			// Asynchronous tier-up: enqueue and keep interpreting; the
+			// compiled function installs at a later dispatch point.
+			if e.counts[idx] >= e.cfg.Tier1Threshold {
+				e.requestCompile(tierKey{fidx: idx, header: -1})
 			}
-			e.stats.Tier1Calls++
-			return cf(e, fr)
+		} else if e.counts[idx] == e.cfg.Tier1Threshold {
+			if cf := e.cfg.Tier1.Compile(e, idx); cf != nil {
+				e.compiled[idx] = cf
+				e.stats.Tier1Funcs++
+				if e.cfg.OnCompile != nil {
+					e.cfg.OnCompile(f.Name)
+				}
+				e.stats.Tier1Calls++
+				return cf(e, fr)
+			}
 		}
 	}
 	e.stats.InterpCalls++
@@ -677,6 +751,7 @@ func (e *Engine) putFrame(fr *Frame) {
 	}
 	fr.Autos = fr.Autos[:0]
 	fr.Fn = nil
+	fr.FnIdx = 0
 	fr.stackBytes = 0
 	e.framePool = append(e.framePool, fr)
 }

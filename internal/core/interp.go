@@ -103,28 +103,68 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 			}
 
 		case ir.OpBr:
+			// Backward branches are the OSR profile points: a hot back edge
+			// transfers this live frame into compiled code at the loop
+			// header, and a deopt transfers it back to the exact
+			// (block, instruction) the guard protected. The probe runs only
+			// with OSR configured, so tier-0 pays one boolean test.
+			if e.osrOn && in.Blk0 <= blk {
+				if cf := e.tryOSR(fr, in.Blk0); cf != nil {
+					e.stats.OSREntries++
+					ret, terr := cf(e, fr)
+					if de, ok := terr.(*DeoptError); ok {
+						e.deopted(fr, in.Blk0, de)
+						blk, ii = de.Blk, de.Instr
+						continue
+					}
+					return ret, terr
+				}
+			}
 			blk, ii = in.Blk0, 0
 			continue
 
 		case ir.OpCondBr:
+			t := in.Blk1
 			if e.operand(fr, in.A).I != 0 {
-				blk = in.Blk0
-			} else {
-				blk = in.Blk1
+				t = in.Blk0
 			}
-			ii = 0
+			if e.osrOn && t <= blk {
+				if cf := e.tryOSR(fr, t); cf != nil {
+					e.stats.OSREntries++
+					ret, terr := cf(e, fr)
+					if de, ok := terr.(*DeoptError); ok {
+						e.deopted(fr, t, de)
+						blk, ii = de.Blk, de.Instr
+						continue
+					}
+					return ret, terr
+				}
+			}
+			blk, ii = t, 0
 			continue
 
 		case ir.OpSwitch:
 			v := e.operand(fr, in.A).I
-			blk = in.Blk0
+			t := in.Blk0
 			for _, c := range in.Cases {
 				if c.Val == v {
-					blk = c.Blk
+					t = c.Blk
 					break
 				}
 			}
-			ii = 0
+			if e.osrOn && t <= blk {
+				if cf := e.tryOSR(fr, t); cf != nil {
+					e.stats.OSREntries++
+					ret, terr := cf(e, fr)
+					if de, ok := terr.(*DeoptError); ok {
+						e.deopted(fr, t, de)
+						blk, ii = de.Blk, de.Instr
+						continue
+					}
+					return ret, terr
+				}
+			}
+			blk, ii = t, 0
 			continue
 
 		case ir.OpRet:

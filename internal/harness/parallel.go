@@ -106,6 +106,13 @@ type MatrixOptions struct {
 	// failures are quarantined into MatrixResult.Quarantined instead of
 	// aborting the matrix. 0 = no retries.
 	MaxRetries int
+	// JIT/JITThreshold/JITAsync/OSR/OSRThreshold configure SafeSulong cells'
+	// tiering (see CaseBudget); other tools ignore them.
+	JIT          bool
+	JITThreshold int64
+	JITAsync     bool
+	OSR          bool
+	OSRThreshold int64
 }
 
 // RunDetectionMatrixWith runs the corpus×tool evaluation matrix on a
@@ -135,6 +142,11 @@ func RunDetectionMatrixWith(opts MatrixOptions) *MatrixResult {
 		MaxAllocBytes: opts.MaxAllocBytes,
 		FaultPlan:     opts.FaultPlan,
 		MaxRetries:    opts.MaxRetries,
+		JIT:           opts.JIT,
+		JITThreshold:  opts.JITThreshold,
+		JITAsync:      opts.JITAsync,
+		OSR:           opts.OSR,
+		OSRThreshold:  opts.OSRThreshold,
 	}
 	var progressMu sync.Mutex
 	var done int

@@ -24,16 +24,19 @@ const (
 	ClangO3                              // native machine, optimized IR
 	ASanPerf                             // ASan-instrumented, unoptimized IR
 	ValgrindPerf                         // memcheck-hosted, unoptimized IR
-	SafeSulongPerf                       // managed engine with the tier-1 compiler (tier-2 peak layer on)
+	SafeSulongPerf                       // managed engine with the tier-1 compiler (tier-2 peak layer on), synchronous tier-up
 	SafeSulongNoJIT                      // ablation: tier-0 interpreter only
 	SafeSulongBaseline                   // ablation: tier-1 without the tier-2 peak layer or frame pooling (the pre-tier-2 compiler)
 	SafeSulongNoInline                   // ablation: tier-2 with the inliner off
+	SafeSulongAsync                      // tier-2 with background compilation (install at dispatch points)
+	SafeSulongAsyncOSR                   // async tier-2 plus on-stack replacement and speculative deopt
 )
 
 var perfNames = [...]string{
 	ClangO0: "Clang -O0", ClangO3: "Clang -O3", ASanPerf: "ASan -O0",
 	ValgrindPerf: "Valgrind", SafeSulongPerf: "Safe Sulong", SafeSulongNoJIT: "Safe Sulong (no JIT)",
 	SafeSulongBaseline: "Safe Sulong (baseline)", SafeSulongNoInline: "Safe Sulong (no inline)",
+	SafeSulongAsync: "Safe Sulong (async)", SafeSulongAsyncOSR: "Safe Sulong (async+OSR)",
 }
 
 func (p PerfConfig) String() string {
@@ -49,14 +52,50 @@ func PerfConfigs() []PerfConfig {
 	return []PerfConfig{ClangO0, ClangO3, ASanPerf, ValgrindPerf, SafeSulongPerf}
 }
 
+// DefaultTier1Threshold is the call count at which the harness's managed
+// runners tier up. PR 6 threads it through RunnerOptions instead of
+// hardcoding it at engine construction, so benchmarks and the matrix can
+// force early (or never) compilation.
+const DefaultTier1Threshold = 25
+
+// RunnerOptions tunes the managed configurations. The zero value reproduces
+// the historical harness behavior (threshold 25, one background worker for
+// async configs, default back-edge threshold for OSR).
+type RunnerOptions struct {
+	// Tier1Threshold overrides the call count that triggers tier-up
+	// (DefaultTier1Threshold when zero).
+	Tier1Threshold int64
+	// OSRThreshold overrides the back-edge count that requests an OSR entry
+	// for SafeSulongAsyncOSR (sulong.DefaultOSRThreshold when zero).
+	OSRThreshold int64
+	// Workers bounds the background compile pool for async configs.
+	Workers int
+}
+
 // Runner executes one program repeatedly in-process (the paper's warm-up
 // harness keeps state, letting the dynamic compiler reach a steady state).
 type Runner interface {
 	RunIteration() error
 	// CompiledFunctions reports tier-1 compilations so far (managed only).
+	// Under async configs this counts *installed* entry compilations.
 	CompiledFunctions() int
 	// JITStats reports tier-1 compiler activity (zero for native runners).
 	JITStats() RunnerJITStats
+	// TierStats reports the engine's tiering counters (zero for native
+	// runners): OSR installs/entries, deopts, async installs.
+	TierStats() RunnerTierStats
+	// Close releases engine resources. Async configs own a background
+	// compile pool; Close drains it. Idempotent, required for every runner.
+	Close()
+}
+
+// RunnerTierStats mirrors core.Stats' async-tiering counters for benchmark
+// reports and warm-up curves.
+type RunnerTierStats struct {
+	OSRCompiled   int64 `json:"osr_compiled"`
+	OSREntries    int64 `json:"osr_entries"`
+	Deopts        int64 `json:"deopts"`
+	AsyncInstalls int64 `json:"async_installs"`
 }
 
 // RunnerJITStats mirrors the tier-1 compiler's counters for benchmark
@@ -87,14 +126,29 @@ func (r *managedRunner) JITStats() RunnerJITStats {
 	if r.comp == nil {
 		return RunnerJITStats{}
 	}
+	// Snapshot, not direct field reads: async configs mutate the compiler's
+	// counters from pool workers.
+	cs := r.comp.Snapshot()
 	return RunnerJITStats{
-		Compiled:    r.comp.Compiled,
-		InstrsTotal: r.comp.InstrsTotal,
-		Bailed:      r.comp.Bailed,
-		BailReasons: r.comp.BailReasons,
-		Inlined:     r.comp.Inlined,
+		Compiled:    cs.Compiled,
+		InstrsTotal: cs.InstrsTotal,
+		Bailed:      cs.Bailed,
+		BailReasons: cs.BailReasons,
+		Inlined:     cs.Inlined,
 	}
 }
+
+func (r *managedRunner) TierStats() RunnerTierStats {
+	st := r.eng.Stats()
+	return RunnerTierStats{
+		OSRCompiled:   st.OSRCompiled,
+		OSREntries:    st.OSREntries,
+		Deopts:        st.Deopts,
+		AsyncInstalls: st.AsyncInstalls,
+	}
+}
+
+func (r *managedRunner) Close() { r.eng.Close() }
 
 type nativeRunner struct {
 	m *nativevm.Machine
@@ -109,10 +163,22 @@ func (r *nativeRunner) CompiledFunctions() int { return 0 }
 
 func (r *nativeRunner) JITStats() RunnerJITStats { return RunnerJITStats{} }
 
-// NewRunner prepares an in-process repeat runner for a benchmark program.
+func (r *nativeRunner) TierStats() RunnerTierStats { return RunnerTierStats{} }
+
+func (r *nativeRunner) Close() {}
+
+// NewRunner prepares an in-process repeat runner for a benchmark program
+// with default options.
 func NewRunner(cfgKind PerfConfig, src, arg string) (Runner, error) {
+	return NewRunnerOpts(cfgKind, src, arg, RunnerOptions{})
+}
+
+// NewRunnerOpts prepares an in-process repeat runner for a benchmark program.
+// Callers must Close the runner.
+func NewRunnerOpts(cfgKind PerfConfig, src, arg string, opts RunnerOptions) (Runner, error) {
 	switch cfgKind {
-	case SafeSulongPerf, SafeSulongNoJIT, SafeSulongBaseline, SafeSulongNoInline:
+	case SafeSulongPerf, SafeSulongNoJIT, SafeSulongBaseline, SafeSulongNoInline,
+		SafeSulongAsync, SafeSulongAsyncOSR:
 		mod, err := sulong.CompileOnly(src)
 		if err != nil {
 			return nil, err
@@ -126,7 +192,7 @@ func NewRunner(cfgKind PerfConfig, src, arg string) (Runner, error) {
 			},
 		}
 		switch cfgKind {
-		case SafeSulongPerf:
+		case SafeSulongPerf, SafeSulongAsync, SafeSulongAsyncOSR:
 			r.comp = jit.New()
 		case SafeSulongBaseline:
 			// The pre-tier-2 tier-1 compiler: scalar promotion and closure
@@ -139,7 +205,21 @@ func NewRunner(cfgKind PerfConfig, src, arg string) (Runner, error) {
 		}
 		if r.comp != nil {
 			ecfg.Tier1 = r.comp
-			ecfg.Tier1Threshold = 25
+			ecfg.Tier1Threshold = opts.Tier1Threshold
+			if ecfg.Tier1Threshold <= 0 {
+				ecfg.Tier1Threshold = DefaultTier1Threshold
+			}
+		}
+		switch cfgKind {
+		case SafeSulongAsync, SafeSulongAsyncOSR:
+			ecfg.AsyncJIT = true
+			ecfg.JITWorkers = opts.Workers
+			if cfgKind == SafeSulongAsyncOSR {
+				ecfg.OSRThreshold = opts.OSRThreshold
+				if ecfg.OSRThreshold <= 0 {
+					ecfg.OSRThreshold = sulong.DefaultOSRThreshold
+				}
+			}
 		}
 		eng, err := core.NewEngine(mod, ecfg)
 		if err != nil {
@@ -239,45 +319,68 @@ func MeasureStartup(runs int) ([]StartupResult, error) {
 
 // ---- warm-up (Fig. 15) ----
 
-// WarmupSample is one time bucket of Fig. 15.
+// WarmupSample is one time bucket of Fig. 15, extended in PR 6 with the
+// async-tiering counters so the curve shows *when* compilation happened,
+// not just how many iterations completed.
 type WarmupSample struct {
-	Bucket     int // index of the time bucket
-	Iterations int // benchmark iterations completed in this bucket
-	Compiled   int // cumulative tier-1 compiled functions at bucket end
+	Bucket      int // index of the time bucket
+	Iterations  int // benchmark iterations completed in this bucket
+	Compiled    int // cumulative tier-1 compiled (installed) functions at bucket end
+	OSRCompiled int // cumulative installed OSR entries at bucket end
+	OSREntries  int // cumulative OSR transfers at bucket end
+	Deopts      int // cumulative speculative deopts at bucket end
 }
 
 // MeasureWarmup replays the paper's Fig. 15: run the benchmark continuously
 // for the given duration and report iterations completed per bucket.
 func MeasureWarmup(bench benchprog.Benchmark, arg string, total time.Duration, bucket time.Duration, cfgs []PerfConfig) (map[PerfConfig][]WarmupSample, error) {
+	return MeasureWarmupOpts(bench, arg, total, bucket, cfgs, RunnerOptions{})
+}
+
+// MeasureWarmupOpts is MeasureWarmup with explicit runner options (used by
+// perfbench to force early tier-up so the compile timeline is visible within
+// a short capture window).
+func MeasureWarmupOpts(bench benchprog.Benchmark, arg string, total time.Duration, bucket time.Duration, cfgs []PerfConfig, opts RunnerOptions) (map[PerfConfig][]WarmupSample, error) {
 	if arg == "" {
 		arg = bench.SmallArg
 	}
 	out := map[PerfConfig][]WarmupSample{}
 	for _, cfgKind := range cfgs {
-		r, err := NewRunner(cfgKind, bench.Source, arg)
+		r, err := NewRunnerOpts(cfgKind, bench.Source, arg, opts)
 		if err != nil {
 			return nil, err
+		}
+		snap := func(s *WarmupSample) {
+			s.Compiled = r.CompiledFunctions()
+			ts := r.TierStats()
+			s.OSRCompiled = int(ts.OSRCompiled)
+			s.OSREntries = int(ts.OSREntries)
+			s.Deopts = int(ts.Deopts)
 		}
 		start := time.Now()
 		var samples []WarmupSample
 		cur := WarmupSample{Bucket: 0}
 		for time.Since(start) < total {
 			if err := r.RunIteration(); err != nil {
+				r.Close()
 				return nil, fmt.Errorf("%v: %w", cfgKind, err)
 			}
 			b := int(time.Since(start) / bucket)
 			if b != cur.Bucket {
-				cur.Compiled = r.CompiledFunctions()
+				snap(&cur)
 				samples = append(samples, cur)
 				for k := cur.Bucket + 1; k < b; k++ {
-					samples = append(samples, WarmupSample{Bucket: k, Compiled: r.CompiledFunctions()})
+					empty := WarmupSample{Bucket: k}
+					snap(&empty)
+					samples = append(samples, empty)
 				}
 				cur = WarmupSample{Bucket: b}
 			}
 			cur.Iterations++
 		}
-		cur.Compiled = r.CompiledFunctions()
+		snap(&cur)
 		samples = append(samples, cur)
+		r.Close()
 		out[cfgKind] = samples
 	}
 	return out, nil
@@ -333,6 +436,13 @@ func MeasurePeak(bench benchprog.Benchmark, arg string, warmups, samples int, cf
 	ForEach(len(cfgs), 0, func(i int) {
 		runners[i], errs[i] = NewRunner(cfgs[i], bench.Source, arg)
 	})
+	defer func() {
+		for _, r := range runners {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
 	for i, err := range errs {
 		if err != nil {
 			return res, fmt.Errorf("%s under %v (prepare): %w", bench.Name, cfgs[i], err)

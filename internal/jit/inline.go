@@ -231,7 +231,9 @@ func remapRegs(f *ir.Func, base int) {
 // per caller. Failure is never a compilation bail — the site falls back to
 // the generic call closure.
 func (c *Compiler) tryInline(e *core.Engine, in *ir.Instr, callerName string) (step, bool) {
-	if c.DisableMem2Reg || c.DisableTier2 || c.DisableInline {
+	if c.DisableMem2Reg || c.DisableTier2 || c.DisableInline || c.osrMode {
+		// osrMode: inline windows would grow the register file past the
+		// interpreter frame's, breaking frame-compatible deopt transfer.
 		return nil, false
 	}
 	idx := e.Module().FuncIndex(in.Callee.Sym)

@@ -19,6 +19,7 @@ package jit
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -34,7 +35,11 @@ const (
 	maxBailReasons  = 16
 )
 
-// Compiler implements core.Tier1Compiler.
+// Compiler implements core.Tier1Compiler and core.OSRCompiler. Compilation
+// may run on the engine's background compile pool while the engine thread
+// executes tier-0 code, so every compile entry point and every counter
+// access is serialized by mu — the *compiled closures* it produces still
+// execute single-threaded on the engine thread.
 type Compiler struct {
 	// Compiled counts tier-1 compiled functions; InstrsTotal their size
 	// (both committed only when a compilation succeeds, so a bail-out never
@@ -49,6 +54,10 @@ type Compiler struct {
 	BailReasons []string
 	// Inlined counts call sites expanded by the tier-2 inliner.
 	Inlined int
+	// OSRCompiled counts frame-compatible on-stack-replacement entries
+	// produced (osr.go); OSRInstrs their lowered instruction count.
+	OSRCompiled int
+	OSRInstrs   int
 	// DisableMem2Reg turns off scalar promotion and every later pass
 	// (ablation benchmarks: the tier-0-shaped closure compiler).
 	DisableMem2Reg bool
@@ -59,9 +68,41 @@ type Compiler struct {
 	// DisableInline turns off just the inliner (ablation row).
 	DisableInline bool
 
+	// mu serializes compilations (the engine may run them on background
+	// workers) and guards the counters above against concurrent Stats reads.
+	mu sync.Mutex
+
 	// per-Compile state
-	nextReg      int // first free register (inline windows grow this)
-	inlinedInstr int // callee instructions inlined so far
+	nextReg      int  // first free register (inline windows grow this)
+	inlinedInstr int  // callee instructions inlined so far
+	osrMode      bool // lowering an OSR entry: frame-compatible, no inlining
+}
+
+// Stats is a consistent snapshot of the compiler's counters, safe to take
+// while background compilations are in flight.
+type Stats struct {
+	Compiled    int
+	InstrsTotal int
+	Bailed      int
+	BailReasons []string
+	Inlined     int
+	OSRCompiled int
+}
+
+// Snapshot returns the counters under the compile lock. Callers observing a
+// run in progress (warmup-curve capture) must use this instead of reading
+// the fields, which would race with a worker mid-compile.
+func (c *Compiler) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Compiled:    c.Compiled,
+		InstrsTotal: c.InstrsTotal,
+		Bailed:      c.Bailed,
+		BailReasons: append([]string(nil), c.BailReasons...),
+		Inlined:     c.Inlined,
+		OSRCompiled: c.OSRCompiled,
+	}
 }
 
 // New returns a tier-1 compiler.
@@ -101,6 +142,8 @@ type block struct {
 // Compile lowers the function at fidx to closures. A nil result means the
 // function stays in the interpreter (and is counted in Bailed).
 func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	orig := e.Module().Funcs[fidx]
 	f := cloneForJIT(orig)
 	w := opt.NewWeights(f)
@@ -117,6 +160,7 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 	}
 	c.nextReg = f.NumRegs
 	c.inlinedInstr = 0
+	c.osrMode = false
 
 	blocks, instrs, err := c.lowerFunc(e, f, w)
 	if err != nil {

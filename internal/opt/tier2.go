@@ -275,61 +275,19 @@ func SweepDeadMoves(f *ir.Func, w Weights) {
 // It returns the weight account re-synchronized with the (possibly grown)
 // block list.
 func HoistLoopInvariants(f *ir.Func, w Weights) Weights {
-	nOrig := len(f.Blocks)
-	succ := make([][]int, nOrig)
-	for i, b := range f.Blocks {
-		t := b.Terminator()
-		switch t.Op {
-		case ir.OpBr:
-			succ[i] = append(succ[i], t.Blk0)
-		case ir.OpCondBr:
-			succ[i] = append(succ[i], t.Blk0, t.Blk1)
-		case ir.OpSwitch:
-			succ[i] = append(succ[i], t.Blk0)
-			for _, c := range t.Cases {
-				succ[i] = append(succ[i], c.Blk)
-			}
-		}
-	}
-	pred := make([][]int, nOrig)
-	for i, ss := range succ {
-		for _, s := range ss {
-			pred[s] = append(pred[s], i)
-		}
-	}
-
-	for _, comp := range sccs(succ) {
-		if len(comp) == 1 {
-			self := false
-			for _, s := range succ[comp[0]] {
-				if s == comp[0] {
-					self = true
-				}
-			}
-			if !self {
-				continue
-			}
+	// Loop discovery is shared with the tier-1 OSR compiler (Loops): both
+	// must agree on what a single-header loop is and which block heads it.
+	for _, loop := range Loops(f) {
+		comp := loop.Blocks
+		// Never the entry block: its implicit incoming edge cannot be
+		// retargeted to a preheader.
+		header := loop.Header
+		if header <= 0 {
+			continue
 		}
 		inLoop := map[int]bool{}
 		for _, b := range comp {
 			inLoop[b] = true
-		}
-		// Exactly one header with outside predecessors, and never the entry
-		// block (its implicit incoming edge cannot be retargeted).
-		header := -1
-		multi := false
-		for _, b := range comp {
-			for _, p := range pred[b] {
-				if !inLoop[p] {
-					if header >= 0 && header != b {
-						multi = true
-					}
-					header = b
-				}
-			}
-		}
-		if header <= 0 || multi {
-			continue
 		}
 
 		// Registers defined anywhere inside the loop are not invariant.

@@ -90,6 +90,20 @@ type Config struct {
 	JIT bool
 	// JITThreshold overrides the default compile-after-N-calls policy.
 	JITThreshold int64
+	// JITAsync compiles hot functions on a background pool owned by the
+	// engine while tier-0 keeps executing; compiled code is installed at
+	// the next dispatch point instead of stalling the hot call.
+	JITAsync bool
+	// JITWorkers bounds the background compile pool (0 = 1 worker).
+	JITWorkers int
+	// OSR enables on-stack replacement: a loop whose back edge fires
+	// OSRThreshold times is entered mid-execution by frame-compatible
+	// compiled code with speculative (deopting) fast paths, so a hot loop
+	// tiers up even when its function is called once.
+	OSR bool
+	// OSRThreshold overrides the hot back-edge count (default 64; setting
+	// it non-zero implies OSR).
+	OSRThreshold int64
 	// OnCompile observes tier-1 compilation events (Fig. 15).
 	OnCompile func(name string)
 
@@ -172,7 +186,18 @@ type JITReport struct {
 	BailReasons []string `json:"bail_reasons,omitempty"`
 	// Inlined counts call sites expanded by the tier-2 inliner.
 	Inlined int `json:"inlined"`
+	// Async tiering activity: OSR entries installed and entered, deopt
+	// transfers back to tier-0, and background compilations installed.
+	OSRCompiled   int64 `json:"osr_compiled,omitempty"`
+	OSREntries    int64 `json:"osr_entries,omitempty"`
+	Deopts        int64 `json:"deopts,omitempty"`
+	AsyncInstalls int64 `json:"async_installs,omitempty"`
 }
+
+// DefaultOSRThreshold is the back-edge count after which a loop is compiled
+// for on-stack replacement when Config.OSR is set without an explicit
+// threshold.
+const DefaultOSRThreshold = 64
 
 // CompileOnly compiles a C program (user source plus the bundled libc) to an
 // unoptimized SIR module, as the managed engine consumes it. The result is
@@ -305,20 +330,38 @@ func runManaged(mod *ir.Module, cfg Config, gov *core.Governor) (Result, error) 
 		comp = jit.New()
 		ecfg.Tier1 = comp
 		ecfg.Tier1Threshold = cfg.JITThreshold
+		ecfg.AsyncJIT = cfg.JITAsync
+		ecfg.JITWorkers = cfg.JITWorkers
+		if cfg.OSR || cfg.OSRThreshold > 0 {
+			ecfg.OSRThreshold = cfg.OSRThreshold
+			if ecfg.OSRThreshold == 0 {
+				ecfg.OSRThreshold = DefaultOSRThreshold
+			}
+		}
 	}
 	eng, err := core.NewEngine(mod, ecfg)
 	if err != nil {
 		return Result{}, err
 	}
+	// The deferred Close covers the panic-containment path; the explicit one
+	// below joins the background compile pool before counters are read.
+	defer eng.Close()
 	code, err := eng.Run()
-	res := Result{ExitCode: code, Stdout: eng.Output(), Stats: eng.Stats()}
+	eng.Close()
+	stats := eng.Stats()
+	res := Result{ExitCode: code, Stdout: eng.Output(), Stats: stats}
 	if comp != nil {
+		cs := comp.Snapshot()
 		res.JIT = &JITReport{
-			Compiled:    comp.Compiled,
-			InstrsTotal: comp.InstrsTotal,
-			Bailed:      comp.Bailed,
-			BailReasons: comp.BailReasons,
-			Inlined:     comp.Inlined,
+			Compiled:      cs.Compiled,
+			InstrsTotal:   cs.InstrsTotal,
+			Bailed:        cs.Bailed,
+			BailReasons:   cs.BailReasons,
+			Inlined:       cs.Inlined,
+			OSRCompiled:   stats.OSRCompiled,
+			OSREntries:    stats.OSREntries,
+			Deopts:        stats.Deopts,
+			AsyncInstalls: stats.AsyncInstalls,
 		}
 	}
 	if cfg.DetectLeaks {
