@@ -9,9 +9,9 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck typecheck bench clean
 
-check: fmt vet build test race faultcheck perfcheck tiercheck
+check: fmt vet build test race faultcheck perfcheck tiercheck typecheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -73,6 +73,16 @@ perfcheck:
 # workers, nothing installed after teardown).
 tiercheck:
 	$(GO) test -race -timeout 120s -run 'TierCheck|AsyncCompile|AsyncClose' ./...
+
+# Type-identity gate: the type-confusion corpus sweep (managed engines
+# detect union punning / bad casts / vararg mismatches with alloc-site
+# backtraces while ASan and memcheck stay silent), introspection-builtin
+# parity across all four engines (clean and under an injected allocation
+# failure, tier-0 vs forced async+OSR), the hardened-libc truncation
+# check on both toolchains, and the typed-IR round trip — under the race
+# detector, since the descriptor caches are shared across matrix workers.
+typecheck:
+	$(GO) test -race -timeout 120s -run 'TypeConfusion|Introspection|Hardened|TypedIR|Union|CheckedCast' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

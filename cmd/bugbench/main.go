@@ -47,12 +47,23 @@ import (
 	"repro/internal/harness"
 )
 
+// matrixSchemaVersion identifies the -json report shape. Bump it whenever a
+// field is added, removed, or changes meaning, so downstream consumers can
+// reject reports they do not understand. Version 2 added categories.
+const matrixSchemaVersion = 2
+
 // matrixReport is the machine-readable form of a bugbench run.
 type matrixReport struct {
-	Cases       int               `json:"cases"`
-	Workers     int               `json:"workers"`
-	WallClockMs float64           `json:"wallClockMs"`
-	Totals      map[string]int    `json:"totals"`
+	SchemaVersion int            `json:"schemaVersion"`
+	Cases         int            `json:"cases"`
+	Workers       int            `json:"workers"`
+	WallClockMs   float64        `json:"wallClockMs"`
+	Totals        map[string]int `json:"totals"`
+	// Categories counts the bugs Safe Sulong detected per ground-truth
+	// category (Table 1 plus the beyond-the-paper type-confusion row).
+	// Maps marshal key-sorted, so the report is byte-identical at any
+	// -parallel worker count.
+	Categories  map[string]int    `json:"categories"`
 	MissedBoth  []string          `json:"foundOnlyBySafeSulong"`
 	Timeouts    []string          `json:"timeouts,omitempty"`
 	OOMs        []string          `json:"ooms,omitempty"`
@@ -187,22 +198,27 @@ func main() {
 			elapsed.Round(time.Millisecond), *parallel, stats.Hits, stats.Misses, 100*stats.HitRate())
 		if *jsonOut != "" {
 			rep := matrixReport{
-				Cases:       len(m.Cases),
-				Workers:     *parallel,
-				WallClockMs: float64(elapsed.Microseconds()) / 1000,
-				Totals:      map[string]int{},
-				MissedBoth:  m.MissedByBoth(),
-				Timeouts:    m.Timeouts(),
-				OOMs:        m.OOMs(),
-				Quarantined: m.Quarantined,
-				Cache:       cacheReport(),
-				Diagnostics: m.Diagnostics(),
+				SchemaVersion: matrixSchemaVersion,
+				Cases:         len(m.Cases),
+				Workers:       *parallel,
+				WallClockMs:   float64(elapsed.Microseconds()) / 1000,
+				Totals:        map[string]int{},
+				Categories:    map[string]int{},
+				MissedBoth:    m.MissedByBoth(),
+				Timeouts:      m.Timeouts(),
+				OOMs:          m.OOMs(),
+				Quarantined:   m.Quarantined,
+				Cache:         cacheReport(),
+				Diagnostics:   m.Diagnostics(),
 			}
 			if plan.Enabled() {
 				rep.FaultPlan = plan.String()
 			}
 			for _, tool := range harness.Tools() {
 				rep.Totals[tool.String()] = m.Totals[tool]
+			}
+			for cat, n := range m.Table1() {
+				rep.Categories[cat.String()] = n
 			}
 			writeJSON(*jsonOut, rep)
 		}

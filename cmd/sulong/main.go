@@ -58,6 +58,8 @@ func main() {
 	failProb := flag.Float64("failprob", 0, "fail each guest heap allocation with this probability (0 = off)")
 	faultSeed := flag.Int64("faultseed", 0, "PRNG seed for -failprob (deterministic)")
 	jsonOut := flag.String("json", "", "write the run's structured diagnostics to this file")
+	introspect := flag.Bool("introspect", false, "on a memory error, also print the involved object's identity (effective type, stored/accessed types, allocation site)")
+	hardened := flag.Bool("hardened", false, "use the bounds-aware libc: bulk string writes truncate at the destination object's end instead of overflowing")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -98,6 +100,7 @@ func main() {
 		OSRThreshold:         *osrThreshold,
 		DetectLeaks:          *leaks,
 		DetectUseAfterReturn: *uar,
+		HardenedLibc:         *hardened,
 		MaxHeapBytes:         *maxHeap,
 		MaxAllocBytes:        *maxAlloc,
 		FaultPlan:            fault.Plan{Seed: *faultSeed, FailNth: *failNth, FailProb: *failProb},
@@ -114,7 +117,7 @@ func main() {
 			os.Exit(2)
 		}
 		res, err := sulong.RunModule(mod, cfg)
-		finish(res, err, *engine, *jsonOut)
+		finish(res, err, *engine, *jsonOut, *introspect)
 		return
 	}
 
@@ -129,10 +132,10 @@ func main() {
 	}
 
 	res, err := sulong.Run(string(src), cfg)
-	finish(res, err, *engine, *jsonOut)
+	finish(res, err, *engine, *jsonOut, *introspect)
 }
 
-func finish(res sulong.Result, err error, engine, jsonOut string) {
+func finish(res sulong.Result, err error, engine, jsonOut string, introspect bool) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sulong:", err)
 		// Guest resource exhaustion (-maxheap) is a run outcome, not a
@@ -169,6 +172,9 @@ func finish(res sulong.Result, err error, engine, jsonOut string) {
 		} else {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", engine, res.Bug)
 		}
+		if introspect {
+			printObjectReport(res.Bug)
+		}
 		os.Exit(1)
 	}
 	if res.Fault != nil {
@@ -179,4 +185,32 @@ func finish(res sulong.Result, err error, engine, jsonOut string) {
 		fmt.Fprintf(os.Stderr, "leak: %v\n", leak)
 	}
 	os.Exit(res.ExitCode)
+}
+
+// printObjectReport renders the -introspect view of a reported bug: the
+// involved object's dynamic identity as the type plane saw it at the
+// moment of the report.
+func printObjectReport(bug *core.BugError) {
+	fmt.Fprintln(os.Stderr, "object report:")
+	name := bug.Obj
+	if name == "" {
+		name = "<unknown>"
+	}
+	fmt.Fprintf(os.Stderr, "  object:         %s (%s, %d bytes)\n", name, bug.Mem, bug.ObjSize)
+	if bug.CType != "" {
+		fmt.Fprintf(os.Stderr, "  effective type: %s\n", bug.CType)
+	}
+	if bug.Stored != "" {
+		fmt.Fprintf(os.Stderr, "  stored as:      %s\n", bug.Stored)
+	}
+	if bug.Accessed != "" {
+		fmt.Fprintf(os.Stderr, "  accessed as:    %s\n", bug.Accessed)
+	}
+	fmt.Fprintf(os.Stderr, "  access:         %s of size %d at offset %d\n", bug.Access, bug.Size, bug.Off)
+	if !bug.AllocStack.IsEmpty() {
+		fmt.Fprintf(os.Stderr, "  allocated at:\n%s\n", bug.AllocStack)
+	}
+	if !bug.FreeStack.IsEmpty() {
+		fmt.Fprintf(os.Stderr, "  freed at:\n%s\n", bug.FreeStack)
+	}
 }

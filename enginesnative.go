@@ -79,6 +79,7 @@ func runNativeFamily(mod *ir.Module, cfg Config, gov *core.Governor) (Result, er
 	ncfg.MaxAllocBytes = cfg.MaxAllocBytes
 	ncfg.FaultPlan = cfg.FaultPlan
 	ncfg.Governor = gov
+	ncfg.Hardened = cfg.HardenedLibc
 
 	m, err := nativevm.New(mod, ncfg)
 	if err != nil {

@@ -144,7 +144,7 @@ func (cg *codegen) globalVar(vd *VarDecl) error {
 		return nil // tentative redefinition
 	}
 	cg.globals[vd.Name] = vd.Ty
-	g := &ir.Global{Name: vd.Name, Ty: vd.Ty.IR(), IsConst: vd.Const}
+	g := &ir.Global{Name: vd.Name, Ty: vd.Ty.IR(), IsConst: vd.Const, CType: vd.Ty.String()}
 	if vd.Init != nil {
 		c, err := cg.constInit(vd.Init, vd.Ty)
 		if err != nil {

@@ -374,6 +374,23 @@ func (g *fnGen) convert(x value, to *CType, pos Pos) (value, error) {
 		}
 		return emitCast(ir.FPExt, from.IR(), to.IR()), nil
 	case from.Kind == CPtr && to.Kind == CPtr:
+		// Pointer-to-pointer conversion is free in the native model, but when
+		// the target pointee is a named, complete struct or union that the
+		// source pointee is not, emit a checked bitcast carrying the declared
+		// C type. The managed engines validate the cast against the pointed-to
+		// allocation's effective type (adopting one for fresh heap blocks);
+		// native execution treats it as a plain move.
+		if te := to.Elem; te.Kind == CStruct && te.Struct.Complete && te.Struct.Name != "" &&
+			!(from.Elem.Kind == CStruct && from.Elem.Struct == to.Elem.Struct) &&
+			x.op.Kind != ir.OperNull {
+			dst := g.f.NewReg()
+			g.emit(ir.Instr{
+				Op: ir.OpCast, Dst: dst, Cast: ir.Bitcast,
+				Ty: ir.BytePtr, Ty2: ir.Ptr(te.IR()), A: x.op,
+				CType: te.String(),
+			})
+			return value{op: ir.Reg(dst, ir.BytePtr), ty: to}, nil
+		}
 		return value{op: x.op, ty: to}, nil
 	case from.Kind == CPtr && to.Kind == CInt:
 		v := emitCast(ir.PtrToInt, ir.BytePtr, ir.I64)

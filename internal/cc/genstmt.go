@@ -184,7 +184,7 @@ func (g *fnGen) alloca(ty *CType, name string) int {
 	// Allocas are emitted where they appear; engines hoist nothing. The
 	// entry block would be the classic place, but emitting in place keeps
 	// block-scoped lifetimes simple and matches the managed model.
-	g.emit(ir.Instr{Op: ir.OpAlloca, Dst: dst, Ty: ty.IR(), Name: name})
+	g.emit(ir.Instr{Op: ir.OpAlloca, Dst: dst, Ty: ty.IR(), Name: name, CType: ty.String()})
 	return dst
 }
 
@@ -452,7 +452,7 @@ func (g *fnGen) localVar(vd *VarDecl) error {
 		// Function-scope statics become module globals with mangled names.
 		g.staticIdx++
 		mangled := fmt.Sprintf("%s.static.%s.%d", g.f.Name, vd.Name, g.staticIdx)
-		gv := &ir.Global{Name: mangled, Ty: vd.Ty.IR(), IsConst: vd.Const}
+		gv := &ir.Global{Name: mangled, Ty: vd.Ty.IR(), IsConst: vd.Const, CType: vd.Ty.String()}
 		if vd.Init != nil {
 			c, err := g.cg.constInit(vd.Init, vd.Ty)
 			if err != nil {

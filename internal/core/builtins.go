@@ -44,6 +44,12 @@ var builtinTable = map[string]Builtin{
 	// Environment access (the engine owns the environment strings).
 	"__ss_getenv": biGetenv,
 
+	// Introspection primitives (typeident.go): pure observers of the
+	// type-identity plane, guest-callable per "Introspection for C".
+	"_size_of_object": biSizeOfObject,
+	"_type_of":        biTypeOf,
+	"_bounds_of":      biBoundsOf,
+
 	// Math (C89 <math.h> double entry points).
 	"sin": biMath1(math.Sin), "cos": biMath1(math.Cos), "tan": biMath1(math.Tan),
 	"asin": biMath1(math.Asin), "acos": biMath1(math.Acos), "atan": biMath1(math.Atan),
@@ -209,6 +215,9 @@ func copyManaged(dst *Object, doff int64, src *Object, soff, n int64) *BugError 
 		}
 	}
 	copy(dst.Data[doff:doff+n], src.Data[soff:soff+n])
+	// A raw byte copy can no longer prove what scalar class union storage
+	// holds — degrade the records to "unknown" rather than misreport.
+	dst.ClearUnionKinds(doff, doff+n)
 	for _, s := range slots {
 		if be := dst.StorePtr(doff+s.rel, s.p, Write); be != nil {
 			return be
@@ -254,6 +263,7 @@ func biMemsetIntrinsic(e *Engine, fr *Frame, args []Value) (Value, error) {
 	for i := int64(0); i < n; i++ {
 		obj.Data[p.Off+i] = c
 	}
+	obj.ClearUnionKinds(p.Off, p.Off+n)
 	return Value{}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/memdesc"
 )
 
 // Value is a scalar during managed execution: an integer (canonical
@@ -180,6 +181,18 @@ type Engine struct {
 	envObjs map[string]*Object
 	stats   Stats
 	mem     *fault.Injector // heap budget + fault schedule (nil-safe)
+
+	// Type-identity plane caches. descCache memoizes allocation descriptors
+	// by C type spelling (one *Desc per distinct declared type, shared by
+	// every object of that type); castDesc memoizes checked-cast target
+	// descriptors by instruction CType; typeObjs interns the strings the
+	// _type_of builtin returns. typeObjs objects live outside the heap and
+	// the fault plane (never charged, never leak-checked), so introspection
+	// cannot shift a FailNth schedule: they are engine metadata, not guest
+	// allocations.
+	descCache map[string]*memdesc.Desc
+	castDesc  map[string]*memdesc.Desc
+	typeObjs  map[string]*Object
 
 	// Async tiering state (tierup.go). pool is the background compile pool
 	// (nil in synchronous mode); queued dedups in-flight requests; the osr*
@@ -400,6 +413,12 @@ func (e *Engine) initGlobals() error {
 		}
 		obj := NewObject(g.Ty.Size(), StaticMem, g.Name, e.id())
 		obj.Ty = g.Ty
+		if g.CType != "" {
+			obj.Desc = e.descFor(g.Ty, g.CType)
+			if obj.Desc.HasUnions() {
+				obj.Strict = true
+			}
+		}
 		e.globals[g.Name] = obj
 	}
 	// Second pass fills initializers (they may reference other globals).
@@ -599,7 +618,7 @@ func (e *Engine) CallIndex(idx int, args []Value) (Value, error) {
 // it. The bytes are charged against the run's heap budget (owned by fr, so
 // they are released when the frame pops); exhaustion is hard — C cannot
 // report a failed alloca — so the error is a *ResourceError, never NULL.
-func (e *Engine) AllocAuto(fr *Frame, size int64, name string, ty ir.Type, fn string, line int) (Pointer, error) {
+func (e *Engine) AllocAuto(fr *Frame, size int64, name string, ty ir.Type, ctype string, fn string, line int) (Pointer, error) {
 	if size < 0 {
 		size = 0
 	}
@@ -616,6 +635,12 @@ func (e *Engine) AllocAuto(fr *Frame, size int64, name string, ty ir.Type, fn st
 	}
 	obj := NewObject(size, AutoMem, name, e.id())
 	obj.Ty = ty
+	if ctype != "" {
+		obj.Desc = e.descFor(ty, ctype)
+		if obj.Desc.HasUnions() {
+			obj.Strict = true
+		}
+	}
 	obj.AllocStack = e.CaptureStack(fn, line)
 	e.stats.Allocs++
 	return Pointer{Obj: obj}, nil
@@ -814,6 +839,11 @@ func (e *Engine) BoxVarArg(ty ir.Type, v Value, idx int) Pointer {
 	name := fmt.Sprintf("vararg %d", idx+1)
 	cell := NewObject(ty.Size(), VarargMem, name, e.id())
 	cell.Ty = ty
+	// The cell's descriptor records the promoted argument's scalar class so
+	// that reading the other class back (printf("%d", 3.5)) is reportable.
+	// Strict keeps every cell access on the generic checked path.
+	cell.Desc = e.descFor(ty, ty.String())
+	cell.Strict = true
 	// The caller has already pushed its call edge, so the live stack names
 	// the call site that supplied this argument.
 	cell.AllocStack = e.callStack

@@ -30,6 +30,12 @@ const (
 	DivideByZero
 	MemoryLeak     // reported at exit for unfreed heap objects (paper §6)
 	UseAfterReturn // access to a stack object after its function returned
+
+	// Type-confusion categories (beyond the paper): detected by comparing
+	// accesses against the allocation's dynamic (effective) type descriptor.
+	BadUnionRead   // union storage read with a different scalar class than last stored
+	BadCast        // pointer cast to a type the allocation cannot hold
+	VarargMismatch // variadic cell read with a different scalar class than passed
 )
 
 var bugNames = [...]string{
@@ -43,6 +49,9 @@ var bugNames = [...]string{
 	DivideByZero:   "division by zero",
 	MemoryLeak:     "memory leak",
 	UseAfterReturn: "use after return",
+	BadUnionRead:   "bad union read",
+	BadCast:        "mismatched pointer cast",
+	VarargMismatch: "variadic argument mismatch",
 }
 
 func (k BugKind) String() string { return bugNames[k] }
@@ -92,6 +101,15 @@ type BugError struct {
 	Obj     string // allocation-site variable name, if known
 	Func    string // function in which the access happened
 	Line    int    // source line, if known
+
+	// CType is the declared C type involved, when the type-identity plane
+	// knows one: the cast target for BadCast, the involved allocation's
+	// effective type otherwise. Stored and Accessed are the two sides of a
+	// type-confusion report — what the storage last held (or the allocation
+	// declared) versus how the access interpreted it.
+	CType    string
+	Stored   string
+	Accessed string
 
 	// AccessStack is the guest call stack at the faulting access (innermost
 	// frame first). AllocStack and FreeStack are the stacks at the involved
@@ -163,6 +181,19 @@ func (e *BugError) Error() string {
 	case UseAfterReturn:
 		return fmt.Sprintf("invalid %s of size %d to %s object%s after its function returned%s",
 			e.Access, e.Size, e.Mem, name, loc)
+	case BadUnionRead:
+		return fmt.Sprintf("bad union read: %s of size %d at offset %d of %s object%s reads %s but union storage last held %s%s",
+			e.Access, e.Size, e.Off, e.Mem, name, e.Accessed, e.Stored, loc)
+	case BadCast:
+		if e.Stored != "" {
+			return fmt.Sprintf("mismatched pointer cast: %s object%s of type %s cast to incompatible %s%s",
+				e.Mem, name, e.Stored, e.CType, loc)
+		}
+		return fmt.Sprintf("mismatched pointer cast: cast to %s (%d bytes) at offset %d of %d-byte %s object%s%s",
+			e.CType, e.Size, e.Off, e.ObjSize, e.Mem, name, loc)
+	case VarargMismatch:
+		return fmt.Sprintf("variadic argument mismatch: %s of size %d reads %s object%s as %s but it was passed as %s%s",
+			e.Access, e.Size, e.Mem, name, e.Accessed, e.Stored, loc)
 	}
 	return "unknown bug"
 }

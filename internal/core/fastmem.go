@@ -25,7 +25,7 @@ import (
 
 // DirectI64 loads an 8-byte little-endian integer when every check passes.
 func (o *Object) DirectI64(off int64) (int64, bool) {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
 		return 0, false
 	}
 	return int64(binary.LittleEndian.Uint64(o.Data[off:])), true
@@ -33,7 +33,7 @@ func (o *Object) DirectI64(off int64) (int64, bool) {
 
 // DirectI32 loads a sign-extended 4-byte integer when every check passes.
 func (o *Object) DirectI32(off int64) (int64, bool) {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
 		return 0, false
 	}
 	return int64(int32(binary.LittleEndian.Uint32(o.Data[off:]))), true
@@ -41,7 +41,7 @@ func (o *Object) DirectI32(off int64) (int64, bool) {
 
 // DirectI16 loads a sign-extended 2-byte integer when every check passes.
 func (o *Object) DirectI16(off int64) (int64, bool) {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+2 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+2 > int64(len(o.Data)) {
 		return 0, false
 	}
 	return int64(int16(binary.LittleEndian.Uint16(o.Data[off:]))), true
@@ -49,7 +49,7 @@ func (o *Object) DirectI16(off int64) (int64, bool) {
 
 // DirectI8 loads a sign-extended byte when every check passes.
 func (o *Object) DirectI8(off int64) (int64, bool) {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+1 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+1 > int64(len(o.Data)) {
 		return 0, false
 	}
 	return int64(int8(o.Data[off])), true
@@ -57,7 +57,7 @@ func (o *Object) DirectI8(off int64) (int64, bool) {
 
 // DirectF64 loads an 8-byte float when every check passes.
 func (o *Object) DirectF64(off int64) (float64, bool) {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
 		return 0, false
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(o.Data[off:])), true
@@ -65,7 +65,7 @@ func (o *Object) DirectF64(off int64) (float64, bool) {
 
 // DirectF32 loads a 4-byte float when every check passes.
 func (o *Object) DirectF32(off int64) (float64, bool) {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
 		return 0, false
 	}
 	return float64(math.Float32frombits(binary.LittleEndian.Uint32(o.Data[off:]))), true
@@ -73,7 +73,7 @@ func (o *Object) DirectF32(off int64) (float64, bool) {
 
 // DirectPutI64 stores an 8-byte integer when every check passes.
 func (o *Object) DirectPutI64(off, v int64) bool {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
 		return false
 	}
 	binary.LittleEndian.PutUint64(o.Data[off:], uint64(v))
@@ -82,7 +82,7 @@ func (o *Object) DirectPutI64(off, v int64) bool {
 
 // DirectPutI32 stores a 4-byte integer when every check passes.
 func (o *Object) DirectPutI32(off, v int64) bool {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
 		return false
 	}
 	binary.LittleEndian.PutUint32(o.Data[off:], uint32(v))
@@ -91,7 +91,7 @@ func (o *Object) DirectPutI32(off, v int64) bool {
 
 // DirectPutI16 stores a 2-byte integer when every check passes.
 func (o *Object) DirectPutI16(off, v int64) bool {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+2 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+2 > int64(len(o.Data)) {
 		return false
 	}
 	binary.LittleEndian.PutUint16(o.Data[off:], uint16(v))
@@ -100,7 +100,7 @@ func (o *Object) DirectPutI16(off, v int64) bool {
 
 // DirectPutI8 stores one byte when every check passes.
 func (o *Object) DirectPutI8(off, v int64) bool {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+1 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+1 > int64(len(o.Data)) {
 		return false
 	}
 	o.Data[off] = byte(v)
@@ -109,7 +109,7 @@ func (o *Object) DirectPutI8(off, v int64) bool {
 
 // DirectPutF64 stores an 8-byte float when every check passes.
 func (o *Object) DirectPutF64(off int64, v float64) bool {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+8 > int64(len(o.Data)) {
 		return false
 	}
 	binary.LittleEndian.PutUint64(o.Data[off:], math.Float64bits(v))
@@ -118,7 +118,7 @@ func (o *Object) DirectPutF64(off int64, v float64) bool {
 
 // DirectPutF32 stores a 4-byte float when every check passes.
 func (o *Object) DirectPutF32(off int64, v float64) bool {
-	if o == nil || o.Freed || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
+	if o == nil || o.Freed || o.Strict || len(o.Ptrs) != 0 || off < 0 || off+4 > int64(len(o.Data)) {
 		return false
 	}
 	binary.LittleEndian.PutUint32(o.Data[off:], math.Float32bits(float32(v)))
@@ -133,5 +133,8 @@ func (o *Object) DirectPutF32(off int64, v float64) bool {
 func (o *Object) InRange(lo, hi int64) bool {
 	// lo <= hi guards against offset arithmetic that wrapped between the two
 	// endpoint computations; a wrapped window must take the checked path.
-	return o != nil && !o.Freed && len(o.Ptrs) == 0 && lo >= 0 && lo <= hi && hi <= int64(len(o.Data))
+	// Strict objects (vararg cells, union carriers) always take the checked
+	// path so the type-identity checks run — the same wholesale exclusion
+	// pointer-carrying objects get.
+	return o != nil && !o.Freed && !o.Strict && len(o.Ptrs) == 0 && lo >= 0 && lo <= hi && hi <= int64(len(o.Data))
 }

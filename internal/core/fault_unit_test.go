@@ -30,7 +30,7 @@ entry:
 // panicking the engine, and any access to it is an out-of-bounds bug.
 func TestAllocAutoNegativeSizeClamped(t *testing.T) {
 	e := newTestEngine(t, Config{})
-	p, err := e.AllocAuto(nil, -1, "buf", ir.I8, "main", 1)
+	p, err := e.AllocAuto(nil, -1, "buf", ir.I8, "", "main", 1)
 	if err != nil {
 		t.Fatalf("AllocAuto(-1): %v", err)
 	}
@@ -47,13 +47,13 @@ func TestAllocAutoNegativeSizeClamped(t *testing.T) {
 func TestAllocAutoBudgetExhaustion(t *testing.T) {
 	e := newTestEngine(t, Config{MaxHeapBytes: 64})
 	fr := &Frame{}
-	if _, err := e.AllocAuto(fr, 32, "small", ir.I8, "main", 1); err != nil {
+	if _, err := e.AllocAuto(fr, 32, "small", ir.I8, "", "main", 1); err != nil {
 		t.Fatalf("within budget: %v", err)
 	}
 	if fr.stackBytes != 32 {
 		t.Fatalf("frame charged %d bytes, want 32", fr.stackBytes)
 	}
-	_, err := e.AllocAuto(fr, 64, "big", ir.I8, "main", 2)
+	_, err := e.AllocAuto(fr, 64, "big", ir.I8, "", "main", 2)
 	var re *ResourceError
 	if !errors.As(err, &re) {
 		t.Fatalf("over budget: got %v, want *ResourceError", err)
@@ -63,7 +63,7 @@ func TestAllocAutoBudgetExhaustion(t *testing.T) {
 	}
 	// Releasing the frame's bytes returns them to the budget.
 	e.mem.ReleaseFixed(fr.stackBytes)
-	if _, err := e.AllocAuto(&Frame{}, 48, "retry", ir.I8, "main", 3); err != nil {
+	if _, err := e.AllocAuto(&Frame{}, 48, "retry", ir.I8, "", "main", 3); err != nil {
 		t.Fatalf("after release: %v", err)
 	}
 }

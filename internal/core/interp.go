@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/memdesc"
 )
 
 // interpret is the tier-0 execution engine: a straightforward block/
@@ -30,7 +31,7 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 				count = e.operand(fr, cnt).I
 			}
 			size := in.Ty.Size() * count
-			p, aerr := e.AllocAuto(fr, size, in.Name, in.Ty, f.Name, in.Line)
+			p, aerr := e.AllocAuto(fr, size, in.Name, in.Ty, in.CType, f.Name, in.Line)
 			if aerr != nil {
 				return Value{}, aerr
 			}
@@ -84,7 +85,18 @@ func (e *Engine) interpret(fr *Frame) (Value, error) {
 			fr.Regs[in.Dst] = IntValue(b2i(r))
 
 		case ir.OpCast:
-			fr.Regs[in.Dst] = e.evalCast(in, e.operand(fr, in.A))
+			if in.CType != "" && in.Cast == ir.Bitcast {
+				// Checked pointer cast: validate the cast target against the
+				// pointee's effective type (adopting one for fresh heap
+				// blocks), then move the pointer through unchanged.
+				v := e.operand(fr, in.A)
+				if be := e.CheckCast(v.P, in); be != nil {
+					return Value{}, e.located(be, f.Name, in.Line)
+				}
+				fr.Regs[in.Dst] = v
+			} else {
+				fr.Regs[in.Dst] = e.evalCast(in, e.operand(fr, in.A))
+			}
 
 		case ir.OpSelect:
 			if e.operand(fr, in.A).I != 0 {
@@ -269,6 +281,13 @@ func (e *Engine) LoadTyped(p Pointer, ty ir.Type) (Value, *BugError) {
 		if be != nil {
 			return Value{}, be
 		}
+		// Type-identity checks fire only after a fully valid access, so
+		// spatial/temporal errors keep their exact classification.
+		if p.Obj.Strict {
+			if be := p.Obj.typedReadCheck(p.Off, int64(t.Bits/8), memdesc.Float); be != nil {
+				return Value{}, be
+			}
+		}
 		return FloatValue(f), nil
 	case *ir.PtrType:
 		q, be := p.Obj.LoadPtr(p.Off, Read)
@@ -280,6 +299,11 @@ func (e *Engine) LoadTyped(p Pointer, ty ir.Type) (Value, *BugError) {
 		v, be := p.Obj.LoadInt(p.Off, ty.Size(), Read)
 		if be != nil {
 			return Value{}, be
+		}
+		if p.Obj.Strict {
+			if be := p.Obj.typedReadCheck(p.Off, ty.Size(), memdesc.Int); be != nil {
+				return Value{}, be
+			}
 		}
 		if it, ok := ty.(*ir.IntType); ok && it.Bits%8 != 0 {
 			v = ir.SignExtend(v, it.Bits)
@@ -298,11 +322,23 @@ func (e *Engine) StoreTyped(p Pointer, ty ir.Type, v Value) *BugError {
 	}
 	switch t := ty.(type) {
 	case *ir.FloatType:
-		return p.Obj.StoreFloat(p.Off, t.Bits, v.F, Write)
+		if be := p.Obj.StoreFloat(p.Off, t.Bits, v.F, Write); be != nil {
+			return be
+		}
+		if p.Obj.Strict {
+			p.Obj.noteTypedStore(p.Off, int64(t.Bits/8), memdesc.Float)
+		}
+		return nil
 	case *ir.PtrType:
 		return p.Obj.StorePtr(p.Off, v.P, Write)
 	default:
-		return p.Obj.StoreInt(p.Off, ty.Size(), v.I, Write)
+		if be := p.Obj.StoreInt(p.Off, ty.Size(), v.I, Write); be != nil {
+			return be
+		}
+		if p.Obj.Strict {
+			p.Obj.noteTypedStore(p.Off, ty.Size(), memdesc.Int)
+		}
+		return nil
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/ir"
+	"repro/internal/memdesc"
 )
 
 // Object is a managed allocation. Its storage is a Go byte slice plus a
@@ -43,6 +44,21 @@ type Object struct {
 
 	// Ty is the allocation's IR type if known (diagnostics only).
 	Ty ir.Type
+
+	// Desc is the allocation's effective (dynamic) type descriptor: stamped
+	// at the allocation site for stack objects, globals, and vararg cells,
+	// and adopted at the first checked pointer cast for heap objects. nil
+	// when the front end declared nothing.
+	Desc *memdesc.Desc
+	// Strict excludes the object from every tier-2 Direct* fast path, the
+	// same way pointer-carrying objects are excluded: accesses must take the
+	// generic checked path so the type-identity checks (union kinds, vararg
+	// classes) always run. Set for vararg cells and union-carrying objects.
+	Strict bool
+	// unionKinds records, per byte offset inside union storage, the scalar
+	// class last stored there — the state a bad-union-read check compares
+	// against. nil for objects without union storage.
+	unionKinds map[int64]unionRec
 
 	// AllocStack is the guest call stack at the allocation site and
 	// FreeStack the stack at the free (or frame pop) that retired the
@@ -110,6 +126,141 @@ func (p Pointer) Equal(q Pointer) bool {
 	return p.Obj == q.Obj && p.Off == q.Off && p.Fn == q.Fn
 }
 
+// unionRec is one recorded scalar store into union storage.
+type unionRec struct {
+	size int64
+	kind memdesc.Kind
+}
+
+// AdoptDesc stamps a descriptor on a previously type-less object (the
+// malloc-then-cast pattern: the first checked cast determines the heap
+// block's effective type, mirroring the paper's §3.3 type inference on
+// first access). Union-carrying descriptors make the object Strict.
+func (o *Object) AdoptDesc(d *memdesc.Desc) {
+	if o.Desc != nil || d == nil {
+		return
+	}
+	o.Desc = d
+	if o.Ty == nil {
+		o.Ty = d.Ty
+	}
+	if d.HasUnions() {
+		o.Strict = true
+	}
+}
+
+// DescCType returns the effective C type name, or "" when untyped.
+func (o *Object) DescCType() string {
+	if o.Desc != nil {
+		return o.Desc.CType
+	}
+	return ""
+}
+
+// unionSpanAt reports whether [off, off+size) lies inside union storage of
+// the object's effective type. Descriptors describe one element; objects
+// sized a multiple of the element (arrays, counted allocas) check the
+// element-relative offset.
+func (o *Object) unionSpanAt(off, size int64) bool {
+	d := o.Desc
+	if d == nil || len(d.Unions) == 0 {
+		return false
+	}
+	rel := off
+	if d.Size > 0 && off >= d.Size {
+		rel = off % d.Size
+		if rel+size > d.Size { // straddles an element boundary
+			return false
+		}
+	}
+	_, ok := d.UnionAt(rel, size)
+	return ok
+}
+
+// recordUnionKind notes that [off, off+size) inside union storage now holds
+// a value of the given scalar class (replacing overlapping records).
+func (o *Object) recordUnionKind(off, size int64, k memdesc.Kind) {
+	o.clearUnionRecs(off, off+size)
+	if o.unionKinds == nil {
+		o.unionKinds = make(map[int64]unionRec, 4)
+	}
+	o.unionKinds[off] = unionRec{size: size, kind: k}
+}
+
+// clearUnionRecs drops records overlapping [lo, hi) — raw byte stores and
+// block copies degrade union storage back to "unknown" (never a false
+// positive from stale state).
+func (o *Object) clearUnionRecs(lo, hi int64) {
+	for off, r := range o.unionKinds {
+		if off < hi && off+r.size > lo {
+			delete(o.unionKinds, off)
+		}
+	}
+}
+
+// ClearUnionKinds is the exported form used by memcpy/memset-style builtins.
+func (o *Object) ClearUnionKinds(lo, hi int64) {
+	if o.unionKinds != nil {
+		o.clearUnionRecs(lo, hi)
+	}
+}
+
+// checkUnionRead reports a BadUnionRead when [off, off+size) reads union
+// storage whose last store was the other scalar class. Single-byte reads are
+// exempt (char-wise inspection of a union is normal C), as are reads that
+// are not fully covered by one recorded store (raw reinterpretation of mixed
+// bytes, which the relaxed model permits).
+func (o *Object) checkUnionRead(off, size int64, k memdesc.Kind) *BugError {
+	if o.unionKinds == nil || size <= 1 || (k != memdesc.Int && k != memdesc.Float) {
+		return nil
+	}
+	for roff, r := range o.unionKinds {
+		if roff <= off && off+size <= roff+r.size {
+			if (r.kind == memdesc.Int || r.kind == memdesc.Float) && r.kind != k {
+				return &BugError{
+					Kind: BadUnionRead, Access: Read, Off: off, Size: size,
+					ObjSize: o.size, Mem: o.Mem, Obj: o.Name,
+					CType: o.DescCType(), Stored: r.kind.String(), Accessed: k.String(),
+					AllocStack: o.AllocStack,
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// noteTypedStore records the scalar class of a successful typed store when
+// it lands wholly inside union storage. Single-byte stores are not
+// classified (char-wise writes are raw bytes).
+func (o *Object) noteTypedStore(off, size int64, k memdesc.Kind) {
+	if size > 1 && o.Desc.HasUnions() && o.unionSpanAt(off, size) {
+		o.recordUnionKind(off, size, k)
+	}
+}
+
+// typedReadCheck runs the type-identity read checks for a Strict object:
+// vararg cells compare the read's scalar class against the passed argument's;
+// union carriers compare against the class last stored.
+func (o *Object) typedReadCheck(off, size int64, k memdesc.Kind) *BugError {
+	if o.Mem == VarargMem {
+		if o.Desc == nil {
+			return nil
+		}
+		sk := o.Desc.Kind
+		if (sk == memdesc.Int || sk == memdesc.Float) && (k == memdesc.Int || k == memdesc.Float) && sk != k {
+			return &BugError{
+				Kind: VarargMismatch, Access: Read, Off: off, Size: size,
+				ObjSize: o.size, Mem: o.Mem, Obj: o.Name,
+				CType: o.Desc.CType, Stored: sk.String(), Accessed: k.String(),
+				AllocStack: o.AllocStack,
+			}
+		}
+		return nil
+	}
+	return o.checkUnionRead(off, size, k)
+}
+
 // access validates an access of `size` bytes at byte offset off and returns
 // a BugError template when it is invalid. A nil return means the access is
 // in bounds on a live object.
@@ -120,11 +271,11 @@ func (o *Object) access(off, size int64, acc AccessKind) *BugError {
 			kind = UseAfterReturn
 		}
 		return &BugError{Kind: kind, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name,
-			AllocStack: o.AllocStack, FreeStack: o.FreeStack}
+			CType: o.DescCType(), AllocStack: o.AllocStack, FreeStack: o.FreeStack}
 	}
 	if off < 0 || off+size > int64(len(o.Data)) {
 		return &BugError{Kind: OutOfBounds, Access: acc, Off: off, Size: size, ObjSize: o.size, Mem: o.Mem, Obj: o.Name,
-			AllocStack: o.AllocStack}
+			CType: o.DescCType(), AllocStack: o.AllocStack}
 	}
 	return nil
 }
@@ -171,6 +322,11 @@ func (o *Object) StoreInt(off, size int64, v int64, acc AccessKind) *BugError {
 	}
 	if s, bad := o.overlapsPtr(off, size); bad {
 		delete(o.Ptrs, s) // overwriting a pointer with ints kills the pointer
+	}
+	if o.unionKinds != nil {
+		// Raw byte stores degrade overlapping union records to "unknown";
+		// StoreTyped re-records for stores it can classify.
+		o.clearUnionRecs(off, off+size)
 	}
 	for i := int64(0); i < size; i++ {
 		o.Data[off+i] = byte(v >> (8 * uint(i)))
@@ -232,6 +388,9 @@ func (o *Object) StorePtr(off int64, p Pointer, acc AccessKind) *BugError {
 	}
 	if s, bad := o.overlapsPtr(off, 8); bad && s != off {
 		delete(o.Ptrs, s)
+	}
+	if o.unionKinds != nil {
+		o.clearUnionRecs(off, off+8)
 	}
 	if p.IsNull() && p.Off == 0 {
 		delete(o.Ptrs, off)

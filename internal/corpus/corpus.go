@@ -26,9 +26,15 @@ const (
 	NullDereference
 	UseAfterFree
 	Varargs
+	// TypeConfusion goes beyond the paper's Table 1: dynamic type-identity
+	// errors (union punning, mismatched pointer casts, variadic argument
+	// type mismatches) that only the managed engines' effective-type
+	// tracking can see. Every case is in-bounds, so ASan and memcheck stay
+	// silent by construction.
+	TypeConfusion
 )
 
-var catNames = [...]string{"buffer-overflow", "null-dereference", "use-after-free", "varargs"}
+var catNames = [...]string{"buffer-overflow", "null-dereference", "use-after-free", "varargs", "type-confusion"}
 
 func (c Category) String() string { return catNames[c] }
 
@@ -110,13 +116,14 @@ var (
 
 func buildAll() {
 	var cases []Case
-	cases = append(cases, mainArgsCases()...) // 3
-	cases = append(cases, globalCases()...)   // 9
-	cases = append(cases, heapCases()...)     // 17
-	cases = append(cases, stackCases()...)    // 32
-	cases = append(cases, nullCases()...)     // 5
-	cases = append(cases, uafCase())          // 1
-	cases = append(cases, varargsCase())      // 1
+	cases = append(cases, mainArgsCases()...)      // 3
+	cases = append(cases, globalCases()...)        // 9
+	cases = append(cases, heapCases()...)          // 17
+	cases = append(cases, stackCases()...)         // 32
+	cases = append(cases, nullCases()...)          // 5
+	cases = append(cases, uafCase())               // 1
+	cases = append(cases, varargsCase())           // 1
+	cases = append(cases, typeConfusionCases()...) // 8, beyond the paper
 	byName = make(map[string]int, len(cases))
 	for i := range cases {
 		cases[i].Fixed = fixes[cases[i].Name]
@@ -738,9 +745,10 @@ int main(void) {
 }
 
 // Count sanity-checks the corpus against the paper's totals; tests call it.
-func Count() (total, oob, null, uaf, va int) {
+// TypeConfusion cases are beyond the paper and counted separately so the
+// paper-facing totals (68 = 61+5+1+1) stay pinned.
+func Count() (total, oob, null, uaf, va, tc int) {
 	for _, c := range All() {
-		total++
 		switch c.Category {
 		case BufferOverflow:
 			oob++
@@ -750,7 +758,11 @@ func Count() (total, oob, null, uaf, va int) {
 			uaf++
 		case Varargs:
 			va++
+		case TypeConfusion:
+			tc++
+			continue
 		}
+		total++
 	}
 	return
 }

@@ -2,14 +2,19 @@ package corpus
 
 import "testing"
 
-// TestDistributionMatchesPaper checks Tables 1 and 2 cell for cell.
+// TestDistributionMatchesPaper checks Tables 1 and 2 cell for cell. The
+// type-confusion cases sit outside the paper's tables and are pinned
+// separately.
 func TestDistributionMatchesPaper(t *testing.T) {
-	total, oob, null, uaf, va := Count()
+	total, oob, null, uaf, va, tc := Count()
 	if total != 68 {
-		t.Errorf("total = %d, want 68", total)
+		t.Errorf("paper total = %d, want 68", total)
 	}
 	if oob != 61 || null != 5 || uaf != 1 || va != 1 {
 		t.Errorf("Table 1 = OOB %d / NULL %d / UAF %d / VA %d, want 61/5/1/1", oob, null, uaf, va)
+	}
+	if tc != 8 {
+		t.Errorf("type-confusion cases = %d, want 8", tc)
 	}
 	var r, w, u, o int
 	mems := map[Mem]int{}
@@ -49,7 +54,13 @@ func TestBlindSpotsAndOptimizedAway(t *testing.T) {
 			t.Errorf("duplicate case name %q", c.Name)
 		}
 		names[c.Name] = true
-		if c.ASanBlindSpot {
+		switch {
+		case c.Category == TypeConfusion && !c.ASanBlindSpot:
+			t.Errorf("%s: type-confusion case must be an ASan blind spot", c.Name)
+		case c.Category == TypeConfusion:
+			// In-bounds by construction, blind by design: not counted
+			// against the paper's 8.
+		case c.ASanBlindSpot:
 			blind++
 		}
 		if c.OptimizedAwayAtO3 {

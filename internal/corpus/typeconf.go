@@ -1,0 +1,150 @@
+package corpus
+
+// The type-confusion extension: 8 cases beyond the paper's Table 1. Every
+// program performs only in-bounds, initialized accesses, so the native
+// tools have nothing to object to — ASan's redzones and memcheck's A/V
+// bits both model *where* memory is valid, never *what* it holds. The
+// managed engines track each allocation's effective type (declared,
+// cast-adopted, or vararg-stamped) and report the mismatch exactly:
+// bad union reads, mismatched pointer casts, and variadic argument
+// type mismatches.
+func typeConfusionCases() []Case {
+	return []Case{
+		{
+			Name: "union-double-as-long",
+			Source: `#include <stdio.h>
+/* Message codec that stores a double payload, then decodes the integer
+ * branch of the union without checking the tag. */
+union payload { long i; double d; };
+int main(void) {
+    union payload p;
+    p.d = 3.14;
+    printf("%ld\n", p.i); /* reads the double's bit pattern as a long */
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Stack,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "union-float-as-int",
+			Source: `#include <stdio.h>
+/* Classic fast-inverse-square-root-style pun, minus the deliberate intent:
+ * the float member is live, the int member is read. */
+union bits { int i; float f; };
+int main(void) {
+    union bits u;
+    u.f = 1.5f;
+    printf("%d\n", u.i);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Stack,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "union-nested-struct-pun",
+			Source: `#include <stdio.h>
+/* The live member is the double; the read goes through the struct arm. */
+struct cell { long tag; };
+union slot { struct cell c; double d; };
+int main(void) {
+    union slot s;
+    s.d = 2.5;
+    printf("%ld\n", s.c.tag);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Stack,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "cast-undersized-heap",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+/* A size calculation that accounts for one field casts the block to a
+ * two-field struct. Every access stays inside the 8 allocated bytes, so
+ * the native tools see nothing; the object is still not a struct pair. */
+struct pair { long a; long b; };
+int main(void) {
+    struct pair *p = (struct pair *)malloc(sizeof(long));
+    if (p == 0) {
+        return 1;
+    }
+    p->a = 7;
+    printf("%ld\n", p->a);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: WriteAccess, Direction: Overflow, Mem: Heap,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "cast-unrelated-struct",
+			Source: `#include <stdio.h>
+/* Same size, unrelated layout: two longs reinterpreted as two doubles. */
+struct point { long x; long y; };
+struct span { double lo; double hi; };
+int main(void) {
+    struct point pt;
+    struct span *s;
+    pt.x = 1;
+    pt.y = 2;
+    s = (struct span *)&pt;
+    printf("%f\n", s->lo);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Stack,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "cast-heap-retype",
+			Source: `#include <stdlib.h>
+#include <stdio.h>
+/* The block legitimately becomes a struct header at its first cast, then
+ * a second, unrelated cast retypes it. No access ever leaves the block. */
+struct header { long tag; long len; };
+struct coord { double x; double y; };
+int main(void) {
+    void *raw = malloc(sizeof(struct header));
+    struct header *h;
+    struct coord *c;
+    if (raw == 0) {
+        return 1;
+    }
+    h = (struct header *)raw;
+    h->tag = 42;
+    c = (struct coord *)raw; /* retype: header is the effective type */
+    if (c == 0) {
+        return 1;
+    }
+    printf("%ld\n", h->tag);
+    free(raw);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Heap,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "printf-int-for-double",
+			Source: `#include <stdio.h>
+/* The format promises a double; the argument is an integer. The native
+ * machine reads the 8-byte vararg slot as floating bits and prints
+ * garbage without complaint. */
+int main(void) {
+    long n = 42;
+    printf("%f\n", n);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Stack,
+			ASanBlindSpot: true,
+		},
+		{
+			Name: "printf-double-for-long",
+			Source: `#include <stdio.h>
+/* The converse confusion: a double argument read through %ld. */
+int main(void) {
+    printf("%ld\n", 3.5);
+    return 0;
+}`,
+			Category: TypeConfusion, Access: ReadAccess, Direction: Overflow, Mem: Stack,
+			ASanBlindSpot: true,
+		},
+	}
+}

@@ -423,7 +423,8 @@ func (m *MatrixResult) Render() string {
 	fmt.Fprintf(&b, "  Buffer overflows    %2d\n", t1[corpus.BufferOverflow])
 	fmt.Fprintf(&b, "  NULL dereferences   %2d\n", t1[corpus.NullDereference])
 	fmt.Fprintf(&b, "  Use-after-free      %2d\n", t1[corpus.UseAfterFree])
-	fmt.Fprintf(&b, "  Varargs             %2d\n\n", t1[corpus.Varargs])
+	fmt.Fprintf(&b, "  Varargs             %2d\n", t1[corpus.Varargs])
+	fmt.Fprintf(&b, "  Type confusion      %2d  (beyond the paper)\n\n", t1[corpus.TypeConfusion])
 
 	rw, dir, mem := m.Table2()
 	b.WriteString("Table 2. Distribution of out-of-bounds accesses\n")

@@ -220,6 +220,14 @@ type Instr struct {
 
 	Name string // alloca: source variable name, for diagnostics
 	Line int    // source line, for diagnostics
+
+	// CType records the declared C type behind the instruction, when the
+	// front end knows one: the element type of an alloca, or the target
+	// pointee of a checked pointer cast. It rides through print/parse as a
+	// "!ctype" suffix (like "!line") and is what the engines' dynamic
+	// type-identity checks key on. Empty means "no declared type" — the
+	// instruction behaves exactly as before the type plane existed.
+	CType string
 }
 
 // Block is a basic block: a straight-line instruction sequence ending in a

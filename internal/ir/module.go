@@ -107,6 +107,10 @@ type Global struct {
 	Ty      Type
 	Init    Const // nil means zero-initialized
 	IsConst bool  // declared const (enables front-end constant folding)
+	// CType is the declared C type of the global as the front end spelled
+	// it (diagnostics and the dynamic type-identity plane). Empty when
+	// unknown; round-trips through print/parse as a "!ctype" suffix.
+	CType string
 }
 
 // Module is a complete translation unit: the user program plus the libc it
@@ -205,7 +209,7 @@ func (m *Module) Clone() *Module {
 		out.Structs[name] = st
 	}
 	for _, g := range m.Globals {
-		ng := &Global{Name: g.Name, Ty: g.Ty, Init: CloneConst(g.Init), IsConst: g.IsConst}
+		ng := &Global{Name: g.Name, Ty: g.Ty, Init: CloneConst(g.Init), IsConst: g.IsConst, CType: g.CType}
 		out.globalIdx[ng.Name] = len(out.Globals)
 		out.Globals = append(out.Globals, ng)
 	}

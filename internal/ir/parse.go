@@ -225,7 +225,11 @@ func (p *parser) module() (*Module, error) {
 		}
 		switch kw {
 		case "struct":
-			if err := p.structDef(); err != nil {
+			if err := p.structDef(false); err != nil {
+				return nil, err
+			}
+		case "union":
+			if err := p.structDef(true); err != nil {
 				return nil, err
 			}
 		case "global":
@@ -247,7 +251,7 @@ func (p *parser) module() (*Module, error) {
 	return p.m, nil
 }
 
-func (p *parser) structDef() error {
+func (p *parser) structDef(isUnion bool) error {
 	if err := p.expectPunct("%"); err != nil {
 		return err
 	}
@@ -276,6 +280,24 @@ func (p *parser) structDef() error {
 		fields = append(fields, Field{Name: fname, Ty: ty})
 	}
 	p.advance() // }
+	if isUnion {
+		// Union layout: every field at offset 0, size/align of the widest
+		// member (the same layout the C front end produces via SetLayout).
+		st := &StructType{Name: name, Fields: fields}
+		var size, align int64 = 0, 1
+		for i := range st.Fields {
+			st.Fields[i].Offset = 0
+			if s := st.Fields[i].Ty.Size(); s > size {
+				size = s
+			}
+			if a := st.Fields[i].Ty.Align(); a > align {
+				align = a
+			}
+		}
+		st.SetLayout(alignUp(size, align), align)
+		p.m.Structs[name] = st
+		return nil
+	}
 	p.m.Structs[name] = NewStruct(name, fields)
 	return nil
 }
@@ -418,6 +440,17 @@ func (p *parser) globalDef() error {
 	g.Init, err = p.constVal()
 	if err != nil {
 		return err
+	}
+	if p.tok().kind == tPunct && p.tok().s == "!" {
+		p.advance()
+		if err := p.expectIdent("ctype"); err != nil {
+			return err
+		}
+		s, err := p.str()
+		if err != nil {
+			return err
+		}
+		g.CType = s
 	}
 	return p.m.AddGlobal(g)
 }
@@ -663,24 +696,38 @@ type target struct {
 }
 
 // instr parses one instruction. Branch targets come back as names in targets.
-// A trailing "!line N" annotation restores the instruction's source-line
-// metadata; without one, Line stays 0 ("unknown") instead of being repointed
-// at the IR-text token line, so diagnostics survive a print/parse round trip.
+// Trailing "!key value" annotations restore instruction metadata: "!line N"
+// restores the source line (without it, Line stays 0 — "unknown" — instead of
+// being repointed at the IR-text token line) and `!ctype "T"` restores the
+// declared C type that drives the dynamic type-identity checks. Annotations
+// may appear in any order.
 func (p *parser) instr(f *Func) (Instr, []target, error) {
 	in, targets, err := p.instrBody(f)
 	if err != nil {
 		return in, targets, err
 	}
-	if p.tok().kind == tPunct && p.tok().s == "!" {
+	for p.tok().kind == tPunct && p.tok().s == "!" {
 		p.advance()
-		if err := p.expectIdent("line"); err != nil {
-			return in, targets, err
-		}
-		n, err := p.intLit()
+		key, err := p.ident()
 		if err != nil {
 			return in, targets, err
 		}
-		in.Line = int(n)
+		switch key {
+		case "line":
+			n, err := p.intLit()
+			if err != nil {
+				return in, targets, err
+			}
+			in.Line = int(n)
+		case "ctype":
+			s, err := p.str()
+			if err != nil {
+				return in, targets, err
+			}
+			in.CType = s
+		default:
+			return in, targets, fmt.Errorf("unknown instruction annotation !%s", key)
+		}
 	}
 	return in, targets, nil
 }

@@ -17,7 +17,13 @@ func Print(m *Module) string {
 	sortStrings(names)
 	for _, n := range names {
 		st := m.Structs[n]
-		fmt.Fprintf(&b, "struct %%%s {", st.Name)
+		// Unions print with their own keyword so the parser can restore the
+		// all-fields-at-offset-0 layout instead of recomputing struct offsets.
+		kw := "struct"
+		if st.IsUnion() {
+			kw = "union"
+		}
+		fmt.Fprintf(&b, "%s %%%s {", kw, st.Name)
 		for i, f := range st.Fields {
 			if i > 0 {
 				b.WriteString(",")
@@ -36,6 +42,9 @@ func Print(m *Module) string {
 		b.WriteString(g.Ty.String())
 		b.WriteString(" = ")
 		printConst(&b, g.Init, g.Ty)
+		if g.CType != "" {
+			fmt.Fprintf(&b, " !ctype %q", g.CType)
+		}
 		b.WriteString("\n")
 	}
 	for _, f := range m.Funcs {
@@ -78,9 +87,14 @@ func printFunc(b *strings.Builder, f *Func) {
 		for i := range blk.Instrs {
 			b.WriteString("  ")
 			printInstr(b, f, &blk.Instrs[i])
-			// Source-line metadata rides along as a "!line N" suffix so
-			// diagnostics survive a print/parse round trip (without it the
-			// parser would repoint Line at the IR-text token line).
+			// Metadata rides along as "!key value" suffixes so diagnostics
+			// and the type-identity plane survive a print/parse round trip
+			// (without !line the parser would repoint Line at the IR-text
+			// token line; without !ctype checked casts would degrade to
+			// plain moves).
+			if blk.Instrs[i].CType != "" {
+				fmt.Fprintf(b, " !ctype %q", blk.Instrs[i].CType)
+			}
 			if blk.Instrs[i].Line > 0 {
 				fmt.Fprintf(b, " !line %d", blk.Instrs[i].Line)
 			}

@@ -164,6 +164,21 @@ func (t *StructType) String() string {
 	return b.String()
 }
 
+// IsUnion reports whether the struct is C-union storage: two or more
+// fields that all sit at offset 0 (the layout the C front end gives
+// unions via SetLayout).
+func (t *StructType) IsUnion() bool {
+	if len(t.Fields) < 2 {
+		return false
+	}
+	for _, f := range t.Fields {
+		if f.Offset != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // FieldAt returns the index of the field containing the given byte offset,
 // or -1 if the offset is outside the struct.
 func (t *StructType) FieldAt(off int64) int {

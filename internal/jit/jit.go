@@ -402,6 +402,7 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 		name := in.Name
 		dst := in.Dst
 		size := ty.Size()
+		ctype := in.CType
 		if cnt, ok := in.CountOp(); ok {
 			getCnt, err := c.compileOperand(e, cnt)
 			if err != nil {
@@ -409,7 +410,7 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 			}
 			return func(e *core.Engine, fr *core.Frame) error {
 				n := getCnt(e, fr).I
-				p, err := e.AllocAuto(fr, size*n, name, ty, fname, line)
+				p, err := e.AllocAuto(fr, size*n, name, ty, ctype, fname, line)
 				if err != nil {
 					return err
 				}
@@ -419,7 +420,7 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 			}, nil
 		}
 		return func(e *core.Engine, fr *core.Frame) error {
-			p, err := e.AllocAuto(fr, size, name, ty, fname, line)
+			p, err := e.AllocAuto(fr, size, name, ty, ctype, fname, line)
 			if err != nil {
 				return err
 			}
@@ -481,7 +482,7 @@ func (c *Compiler) compileStep(e *core.Engine, f *ir.Func, in *ir.Instr) (step, 
 		return c.compileCmp(e, in)
 
 	case ir.OpCast:
-		return c.compileCast(e, in)
+		return c.compileCast(e, in, fname, line)
 
 	case ir.OpSelect:
 		getT, err := c.compileOperand(e, in.B)

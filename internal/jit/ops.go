@@ -481,7 +481,7 @@ func (c *Compiler) compileFusedCmpBr(e *core.Engine, cmp, br *ir.Instr) (term, e
 	}, nil
 }
 
-func (c *Compiler) compileCast(e *core.Engine, in *ir.Instr) (step, error) {
+func (c *Compiler) compileCast(e *core.Engine, in *ir.Instr, fname string, line int) (step, error) {
 	getA, err := c.compileOperand(e, in.A)
 	if err != nil {
 		return nil, err
@@ -489,6 +489,20 @@ func (c *Compiler) compileCast(e *core.Engine, in *ir.Instr) (step, error) {
 	dst := in.Dst
 	switch in.Cast {
 	case ir.Bitcast:
+		if in.CType != "" {
+			// Checked pointer cast: validate the target type against the
+			// pointee's effective type via the shared interpreter check, so
+			// both tiers produce the byte-identical diagnostic.
+			inst := in
+			return func(e *core.Engine, fr *core.Frame) error {
+				v := getA(e, fr)
+				if be := e.CheckCast(v.P, inst); be != nil {
+					return e.Located(be, fname, line)
+				}
+				fr.Regs[dst] = v
+				return nil
+			}, nil
+		}
 		if in.A.Kind == ir.OperReg {
 			src := in.A.Reg
 			return func(e *core.Engine, fr *core.Frame) error {

@@ -1,0 +1,27 @@
+/* introspect.h — Safe Sulong libc: dynamic object introspection.
+ *
+ * These builtins expose the engine's per-object metadata to the guest
+ * ("Introspection for C"): allocation size, remaining capacity from a
+ * pointer, and the effective (declared or cast-adopted) C type. On the
+ * managed engine the answers are exact; on the native family they are
+ * best-effort from the allocator and the type mirror, with documented
+ * don't-know values: _size_of_object returns -1, _bounds_of returns 0,
+ * and _type_of returns "unknown" when the engine cannot tell.
+ *
+ * Programs opt in with #include <introspect.h>; the declarations alone
+ * switch the native machine's type mirror on. */
+#ifndef _INTROSPECT_H
+#define _INTROSPECT_H
+
+/* Size in bytes of the allocation containing p, or -1 if unknown/NULL. */
+long _size_of_object(void *p);
+
+/* Bytes remaining from p to the end of its allocation (0 when unknown,
+ * NULL, freed, or p already past the end). */
+long _bounds_of(void *p);
+
+/* Effective C type name of the allocation containing p: "null",
+ * "function", a declared type like "struct point", or "unknown". */
+char *_type_of(void *p);
+
+#endif

@@ -10,6 +10,24 @@
 void *__builtin_memcpy(void *dst, const void *src, unsigned long n);
 void *__builtin_memset(void *s, int c, unsigned long n);
 
+#ifdef __SS_HARDENED
+/* Hardened build: the bulk-write family consults the engine's object
+ * metadata before writing and truncates at the destination's end instead
+ * of overflowing — availability over detection, like a hardened allocator.
+ * _bounds_of answering 0 means "don't know" (forged pointer, untyped
+ * block); then the function degrades to its ordinary behavior, and on the
+ * managed engine the bounds checker still reports the overflow exactly. */
+#include <introspect.h>
+
+static size_t __ss_write_cap(void *dst, size_t n) {
+    long room = _bounds_of(dst);
+    if (room > 0 && (size_t)room < n) {
+        return (size_t)room;
+    }
+    return n;
+}
+#endif
+
 size_t strlen(const char *s) {
     size_t n = 0;
     while (s[n] != '\0') {
@@ -20,6 +38,17 @@ size_t strlen(const char *s) {
 
 char *strcpy(char *dst, const char *src) {
     size_t i = 0;
+#ifdef __SS_HARDENED
+    long room = _bounds_of((void *)dst);
+    if (room > 0) {
+        while ((long)i + 1 < room && src[i] != '\0') {
+            dst[i] = src[i];
+            i++;
+        }
+        dst[i] = '\0';
+        return dst;
+    }
+#endif
     while ((dst[i] = src[i]) != '\0') {
         i++;
     }
@@ -40,6 +69,17 @@ char *strncpy(char *dst, const char *src, size_t n) {
 char *strcat(char *dst, const char *src) {
     size_t i = strlen(dst);
     size_t j = 0;
+#ifdef __SS_HARDENED
+    long room = _bounds_of((void *)dst);
+    if (room > 0) {
+        while ((long)(i + j) + 1 < room && src[j] != '\0') {
+            dst[i + j] = src[j];
+            j++;
+        }
+        dst[i + j] = '\0';
+        return dst;
+    }
+#endif
     while ((dst[i + j] = src[j]) != '\0') {
         j++;
     }
@@ -179,17 +219,26 @@ char *strdup(const char *s) {
 }
 
 void *memcpy(void *dst, const void *src, size_t n) {
+#ifdef __SS_HARDENED
+    n = __ss_write_cap(dst, n);
+#endif
     __builtin_memcpy(dst, src, n);
     return dst;
 }
 
 void *memmove(void *dst, const void *src, size_t n) {
     /* The engine's copy primitive already has memmove semantics. */
+#ifdef __SS_HARDENED
+    n = __ss_write_cap(dst, n);
+#endif
     __builtin_memcpy(dst, src, n);
     return dst;
 }
 
 void *memset(void *s, int c, size_t n) {
+#ifdef __SS_HARDENED
+    n = __ss_write_cap(s, n);
+#endif
     __builtin_memset(s, c, n);
     return s;
 }

@@ -56,6 +56,11 @@ func (m *Machine) callFrom(caller *Frame, idx int, args []Value, vaBase uint64, 
 	if m.checker != nil && m.sp < fr.savedSP {
 		m.checker.StackFree(m.sp, fr.savedSP)
 	}
+	if m.trackTypes && m.sp < fr.savedSP {
+		// Retire the frame's stack type registrations: an address range
+		// reused by a later frame must not inherit this frame's types.
+		m.Types.RemoveRange(int64(m.sp), int64(fr.savedSP))
+	}
 	m.sp = fr.savedSP
 	m.inj.ReleaseFixed(fr.stackBytes) // return alloca bytes to the budget
 	return ret, err
@@ -119,6 +124,9 @@ func (m *Machine) exec(fr *Frame) (Value, error) {
 			if err != nil {
 				return Value{}, err
 			}
+			if m.trackTypes && in.CType != "" {
+				m.Types.Register(int64(addr), size, m.descFor(in.Ty, in.CType))
+			}
 			fr.Regs[in.Dst] = IntVal(int64(addr))
 
 		case ir.OpLoad:
@@ -174,6 +182,13 @@ func (m *Machine) exec(fr *Frame) (Value, error) {
 			a := m.oper(fr, in.A)
 			switch in.Cast {
 			case ir.PtrToInt, ir.IntToPtr, ir.Bitcast:
+				if in.Cast == ir.Bitcast && in.CType != "" {
+					// Checked cast site: native execution never validates it
+					// (that is the blind spot), but a fresh heap block adopts
+					// the target type so introspection mirrors the managed
+					// engine's answer.
+					m.adoptHeapType(uint64(a.I), in)
+				}
 				fr.Regs[in.Dst] = a
 			default:
 				i, fl, isF := ir.EvalCast(in.Cast, bitsOf(in.Ty), bitsOf(in.Ty2), a.I, a.F)

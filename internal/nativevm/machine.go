@@ -17,6 +17,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/memdesc"
 	"repro/internal/nativemem"
 )
 
@@ -34,6 +35,15 @@ const (
 	// FuncBase is the fictitious text segment: function i has address
 	// FuncBase + 16*i.
 	FuncBase = uint64(0x0000_4000_0000_0000)
+
+	// TypeStrBase is the region holding the NUL-terminated strings the
+	// _type_of introspection builtin returns. It sits outside every guest-
+	// reachable segment and is populated by interning (one deterministic
+	// address per distinct type name, in first-use order) — never via the
+	// gated heap allocator, so calling _type_of cannot shift a FailNth
+	// fault-schedule coordinate.
+	TypeStrBase = uint64(0x0000_3000_0000_0000)
+	typeStrSize = uint64(64 << 10)
 )
 
 // Value is a native scalar: an integer/address or a float.
@@ -128,6 +138,16 @@ type Config struct {
 	// the machine polls it at basic-block boundaries and libc fast paths
 	// charge fuel against the same budget (execution governor).
 	Governor *core.Governor
+	// TrackTypes forces the type-identity mirror on (address-range memdesc
+	// registrations for stack objects, globals, and cast-adopted heap
+	// blocks). It is enabled automatically when the module declares any of
+	// the introspection builtins; the hardened nlibc sets it explicitly so
+	// its bounds clamping has the same source of truth.
+	TrackTypes bool
+	// Hardened makes the nlibc bulk-write family (memcpy/memset/strcpy/...)
+	// consult the machine's object bookkeeping and truncate at the
+	// destination's end instead of overflowing. Implies TrackTypes.
+	Hardened bool
 }
 
 // Machine is a native execution engine instance.
@@ -162,6 +182,20 @@ type Machine struct {
 	Ungot      int
 
 	envpAddr uint64
+
+	// Type-identity mirror (typeident.go): Types maps address ranges of
+	// stack objects, globals, and cast-adopted heap blocks to the same
+	// memdesc descriptors the managed engine hangs off core.Object, so the
+	// introspection builtins and the hardened nlibc share one source of
+	// truth with the managed family. Populated only when trackTypes is on
+	// (the mirror is pure observation — native execution never checks it).
+	Types      memdesc.Table
+	trackTypes bool
+	hardened   bool
+	descCache  map[string]*memdesc.Desc
+	castDesc   map[string]*memdesc.Desc
+	typeStrs   map[string]uint64
+	typeStrCur uint64
 
 	// Shadow call stack: the machine analogue of a debugger unwinding the
 	// real stack. callStack holds one frame per live call edge (caller
@@ -243,6 +277,9 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 	m.Mem.Map(StackTop-StackSize, StackSize)
 	m.sp = StackTop
 	m.stackLow = StackTop - StackSize
+
+	m.hardened = cfg.Hardened
+	m.trackTypes = cfg.TrackTypes || cfg.Hardened || moduleWantsIntrospection(mod)
 
 	if err := m.layoutGlobals(); err != nil {
 		return nil, err
@@ -331,6 +368,9 @@ func (m *Machine) layoutGlobals() error {
 		m.globalAddr[g.Name] = addr
 		if m.checker != nil {
 			m.checker.GlobalAlloc(addr, size)
+		}
+		if m.trackTypes && g.CType != "" {
+			m.Types.Register(int64(addr), size, m.descFor(g.Ty, g.CType))
 		}
 		if g.Init != nil {
 			if err := m.fillConst(addr, g.Init, g.Ty); err != nil {

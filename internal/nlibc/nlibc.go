@@ -26,6 +26,7 @@ func Table(checked bool) map[string]nativevm.LibFunc {
 	addStdlib(t, checked)
 	addCtype(t)
 	addMath(t)
+	addTypeIdent(t)
 	return t
 }
 

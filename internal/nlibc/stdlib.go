@@ -50,6 +50,7 @@ func addStdlib(t map[string]nativevm.LibFunc, checked bool) {
 			return nativevm.Value{}, &nativevm.GlibcAbort{What: "realloc(): invalid pointer", Addr: old}
 		}
 		if size == 0 {
+			m.RetireHeapType(old)
 			if err := m.Alloc.Free(old); err != nil {
 				return nativevm.Value{}, err
 			}
@@ -68,6 +69,7 @@ func addStdlib(t map[string]nativevm.LibFunc, checked bool) {
 			return nativevm.Value{}, f
 		}
 		m.Mem.WriteBytes(addr, data)
+		m.RetireHeapType(old)
 		if err := m.Alloc.Free(old); err != nil {
 			return nativevm.Value{}, err
 		}
@@ -78,6 +80,7 @@ func addStdlib(t map[string]nativevm.LibFunc, checked bool) {
 		if addr == 0 {
 			return nativevm.Value{}, nil
 		}
+		m.RetireHeapType(addr)
 		if err := m.Alloc.Free(addr); err != nil {
 			return nativevm.Value{}, err
 		}

@@ -2,6 +2,22 @@ package nlibc
 
 import "repro/internal/nativevm"
 
+// hardRoom returns the destination's remaining capacity from dst under the
+// hardened-libc policy, or -1 when unclamped (machine not hardened, object
+// unknown, or no usable room — graceful degradation to ordinary behavior,
+// mirroring the managed libc's __SS_HARDENED rule).
+func hardRoom(m *nativevm.Machine, dst uint64) int64 {
+	if !m.HardenedLibc() {
+		return -1
+	}
+	if base, size, ok := m.ObjectExtent(dst); ok {
+		if room := int64(base) + size - int64(dst); room > 0 {
+			return room
+		}
+	}
+	return -1
+}
+
 func addString(t map[string]nativevm.LibFunc, checked bool) {
 	t["strlen"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
 		// Word-wise, unchecked: the glibc fast path (P4).
@@ -11,10 +27,19 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 	t["strcpy"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
 		a := mem{m, checked}
 		dst, src := uint64(c.Args[0].I), uint64(c.Args[1].I)
+		room := hardRoom(m, dst)
 		for i := uint64(0); ; i++ {
 			b, err := a.loadByte(src + i)
 			if err != nil {
 				return nativevm.Value{}, err
+			}
+			if room >= 0 && int64(i)+1 >= room {
+				// Hardened: out of destination room — terminate in place
+				// instead of overflowing.
+				if err := a.storeByte(dst+i, 0); err != nil {
+					return nativevm.Value{}, err
+				}
+				break
 			}
 			if err := a.storeByte(dst+i, b); err != nil {
 				return nativevm.Value{}, err
@@ -55,10 +80,17 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 		if err != nil {
 			return nativevm.Value{}, err
 		}
+		room := hardRoom(m, dst)
 		for i := uint64(0); ; i++ {
 			b, err := a.loadByte(src + i)
 			if err != nil {
 				return nativevm.Value{}, err
+			}
+			if room >= 0 && n+int64(i)+1 >= room {
+				if err := a.storeByte(dst+uint64(n)+i, 0); err != nil {
+					return nativevm.Value{}, err
+				}
+				break
 			}
 			if err := a.storeByte(dst+uint64(n)+i, b); err != nil {
 				return nativevm.Value{}, err
@@ -315,6 +347,7 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 	memcpyImpl := func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
 		a := mem{m, checked}
 		dst, src, n := uint64(c.Args[0].I), uint64(c.Args[1].I), c.Args[2].I
+		n = m.WriteCap(dst, n)
 		if dst < src {
 			for i := int64(0); i < n; i++ {
 				b, err := a.loadByte(src + uint64(i))
@@ -344,6 +377,7 @@ func addString(t map[string]nativevm.LibFunc, checked bool) {
 	memsetImpl := func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
 		a := mem{m, checked}
 		dst, ch, n := uint64(c.Args[0].I), byte(c.Args[1].I), c.Args[2].I
+		n = m.WriteCap(dst, n)
 		for i := int64(0); i < n; i++ {
 			if err := a.storeByte(dst+uint64(i), ch); err != nil {
 				return nativevm.Value{}, err

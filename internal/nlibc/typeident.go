@@ -1,0 +1,56 @@
+package nlibc
+
+import (
+	"repro/internal/nativevm"
+)
+
+// Introspection builtins, native side ("Introspection for C", Rigger et
+// al.). The managed engine answers from per-object metadata; the native
+// machine answers best-effort from the allocator's bookkeeping and the
+// memdesc address-range mirror. Where the machine genuinely cannot know —
+// an interior pointer into an untyped heap block, a forged address — it
+// returns the documented don't-know values (-1 size, 0 bounds, "unknown"
+// type) instead of guessing. The builtins are pure observers: they never
+// touch the gated allocator, so calling them cannot shift a fault-schedule
+// coordinate.
+func addTypeIdent(t map[string]nativevm.LibFunc) {
+	t["_size_of_object"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+		addr := uint64(c.Args[0].I)
+		if addr == 0 {
+			return nativevm.IntVal(-1), nil
+		}
+		if _, size, ok := m.ObjectExtent(addr); ok {
+			return nativevm.IntVal(size), nil
+		}
+		return nativevm.IntVal(-1), nil
+	}
+	t["_type_of"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+		addr := uint64(c.Args[0].I)
+		name := "unknown"
+		switch {
+		case addr == 0:
+			name = "null"
+		case nativevm.FuncIndexOf(addr) >= 0:
+			name = "function"
+		default:
+			if n := m.TypeNameAt(addr); n != "" {
+				name = n
+			}
+		}
+		return nativevm.IntVal(int64(m.InternTypeStr(name))), nil
+	}
+	t["_bounds_of"] = func(m *nativevm.Machine, c *nativevm.CallCtx) (nativevm.Value, error) {
+		addr := uint64(c.Args[0].I)
+		if addr == 0 {
+			return nativevm.IntVal(0), nil
+		}
+		if base, size, ok := m.ObjectExtent(addr); ok {
+			rem := int64(base) + size - int64(addr)
+			if rem < 0 {
+				rem = 0
+			}
+			return nativevm.IntVal(rem), nil
+		}
+		return nativevm.IntVal(0), nil
+	}
+}

@@ -65,7 +65,9 @@ func (w Weights) BlockCost(bi int) int64 {
 // same equivalence the tier-1 lowering has always used), and zero extensions
 // from i1 (an i1 value is 0 or 1; zero-extending it changes nothing).
 func isMoveCast(in *ir.Instr) bool {
-	if in.Op != ir.OpCast || in.Dst < 0 {
+	// A cast carrying a declared C type is a *checked* cast — the engines
+	// validate it against the pointee's effective type — never a pure move.
+	if in.Op != ir.OpCast || in.Dst < 0 || in.CType != "" {
 		return false
 	}
 	switch in.Cast {
@@ -152,7 +154,7 @@ func CopyPropagate(f *ir.Func) {
 			srcBool := in.Op == ir.OpCast && in.Cast == ir.Bitcast && boolSource(in.A)
 			kill(in.Dst)
 			switch {
-			case in.Op == ir.OpCast && in.Cast == ir.Bitcast &&
+			case in.Op == ir.OpCast && in.Cast == ir.Bitcast && in.CType == "" &&
 				(in.A.Kind == ir.OperReg || in.A.Kind == ir.OperConstInt || in.A.Kind == ir.OperConstFloat):
 				if !(in.A.Kind == ir.OperReg && in.A.Reg == in.Dst) {
 					known[in.Dst] = in.A
@@ -241,7 +243,7 @@ func SweepDeadMoves(f *ir.Func, w Weights) {
 		var carry int64
 		for i := range b.Instrs {
 			in := b.Instrs[i]
-			if in.Op == ir.OpCast && in.Cast == ir.Bitcast && in.Dst >= 0 && in.Dst < len(uses) &&
+			if in.Op == ir.OpCast && in.Cast == ir.Bitcast && in.CType == "" && in.Dst >= 0 && in.Dst < len(uses) &&
 				uses[in.Dst] == 0 && len(b.Instrs) > 1 {
 				// Weight attaches to the next surviving instruction; the
 				// terminator is never a move, so a carrier always exists.
@@ -330,7 +332,9 @@ func HoistLoopInvariants(f *ir.Func, w Weights) Weights {
 				case ir.OpCmp:
 					ok = invariant(in.A) && invariant(in.B)
 				case ir.OpCast:
-					ok = invariant(in.A)
+					// Checked casts are checks, not computations: they must
+					// fire on their own iteration for the exact diagnostic.
+					ok = in.CType == "" && invariant(in.A)
 				case ir.OpSelect:
 					ok = invariant(in.A) && invariant(in.B) && invariant(in.C)
 				}

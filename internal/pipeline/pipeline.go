@@ -74,6 +74,13 @@ type Request struct {
 	// fold), yielding the raw front-end module. Only meaningful for
 	// FlavorNative; used by sulong.CompileBare.
 	Bare bool
+	// Hardened compiles the managed libc with __SS_HARDENED: the bulk-write
+	// string functions consult _bounds_of and truncate at the destination's
+	// end instead of overflowing. Ignored for FlavorNative (its hardening
+	// lives in the precompiled nlibc, selected at machine construction).
+	// The flag changes the unit's contents, so the content hash keys
+	// hardened and plain builds to distinct cache entries automatically.
+	Hardened bool
 }
 
 // Key is the content address of a compiled module: the SHA-256 of the
@@ -132,7 +139,11 @@ func Assemble(req Request) (mainFile string, files map[string]string) {
 	}
 	files["user.c"] = req.Source
 	if req.Flavor == FlavorManaged {
-		files["__program.c"] = libc.WrapProgram("user.c")
+		unit := libc.WrapProgram("user.c")
+		if req.Hardened {
+			unit = "#define __SS_HARDENED 1\n" + unit
+		}
+		files["__program.c"] = unit
 		return "__program.c", files
 	}
 	return "user.c", files

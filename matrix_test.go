@@ -17,8 +17,9 @@ func TestDetectionMatrixShape(t *testing.T) {
 			}
 		}
 	}
-	if got := m.Totals[harness.SafeSulong]; got != 68 {
-		t.Errorf("SafeSulong detected %d, want 68", got)
+	// 68 paper cases + 8 type-confusion cases (beyond the paper).
+	if got := m.Totals[harness.SafeSulong]; got != 76 {
+		t.Errorf("SafeSulong detected %d, want 76", got)
 		for _, c := range m.Cases {
 			cell := m.Cells[c.Name][harness.SafeSulong]
 			if !cell.Detected {
@@ -32,8 +33,9 @@ func TestDetectionMatrixShape(t *testing.T) {
 	if got := m.Totals[harness.ASanO3]; got != 56 {
 		t.Errorf("ASan -O3 detected %d, want 56", got)
 	}
-	if len(m.MissedByBoth()) != 8 {
-		t.Errorf("missed-by-both = %d, want 8: %v", len(m.MissedByBoth()), m.MissedByBoth())
+	// The paper's 8 plus the 8 in-bounds type-confusion cases.
+	if len(m.MissedByBoth()) != 16 {
+		t.Errorf("missed-by-both = %d, want 16: %v", len(m.MissedByBoth()), m.MissedByBoth())
 	}
 }
 

@@ -143,6 +143,15 @@ type Config struct {
 	// DetectUseAfterReturn reports accesses to stack objects of functions
 	// that already returned (managed engine only).
 	DetectUseAfterReturn bool
+	// HardenedLibc selects the bounds-aware C library: the bulk-write
+	// string family (memcpy/memmove/memset/strcpy/strcat) consults the
+	// engine's object metadata and truncates at the destination's end
+	// instead of overflowing. On the managed engine the libc sources are
+	// recompiled with __SS_HARDENED; on the native family the precompiled
+	// nlibc clamps through the machine's type mirror. Where the engine
+	// cannot tell the destination's extent the functions degrade to their
+	// ordinary (overflowing, but checked where the engine checks) behavior.
+	HardenedLibc bool
 
 	// ExtraFiles adds include-able files to the compilation.
 	ExtraFiles map[string]string
@@ -265,6 +274,7 @@ func CompileFor(src string, cfg Config) (*ir.Module, error) {
 		ExtraFiles: cfg.ExtraFiles,
 		Flavor:     cfg.Engine.flavor(),
 		OptLevel:   cfg.OptLevel,
+		Hardened:   cfg.HardenedLibc,
 	}
 	if cfg.NoCache {
 		mod, _, err := pipeline.CompileUncached(req)

@@ -91,23 +91,25 @@ int main(void) {
 }
 
 // TestCoalescedRunFaultsAtExactField exercises bounds-check coalescing: the
-// four consecutive field loads in sum() coalesce into one range check over
-// [0,32) in tier-2. On the short 16-byte object that window check fails, the
-// compiled code must fall back to per-access checking, and the fault must
-// blame exactly the third field (offset 16) — with the loads of a and b
-// charged, and c's and d's never charged — matching tier-0 to the step.
+// four consecutive constant-index loads in sum() coalesce into one range
+// check over [0,32) in tier-2. On the short 16-byte object that window check
+// fails, the compiled code must fall back to per-access checking, and the
+// fault must blame exactly the third slot (offset 16) — with the loads of
+// q[0] and q[1] charged, and q[2]'s and q[3]'s never charged — matching
+// tier-0 to the step. (The buffers are plain long arrays: casting an
+// undersized block to a wider struct type is now itself a detected
+// mismatched-cast error, tested separately in typecheck_test.go.)
 func TestCoalescedRunFaultsAtExactField(t *testing.T) {
 	const src = `
 #include <stdlib.h>
-struct quad { long a; long b; long c; long d; };
-long sum(struct quad *q) { return q->a + q->b + q->c + q->d; }
+long sum(long *q) { return q[0] + q[1] + q[2] + q[3]; }
 int main(void) {
-    struct quad *q = malloc(sizeof(struct quad));
-    q->a = 1; q->b = 2; q->c = 3; q->d = 4;
+    long *q = malloc(4 * sizeof(long));
+    q[0] = 1; q[1] = 2; q[2] = 3; q[3] = 4;
     long s = sum(q);                                  /* clean: warm-up + compile */
-    struct quad *shortq = (struct quad *)malloc(2 * sizeof(long));
-    shortq->a = 5; shortq->b = 6;
-    s += sum(shortq);                                 /* q->c reads past the object */
+    long *shortq = malloc(2 * sizeof(long));
+    shortq[0] = 5; shortq[1] = 6;
+    s += sum(shortq);                                 /* q[2] reads past the object */
     return (int)s;
 }`
 	interp := run2(t, src, false)
