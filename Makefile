@@ -9,9 +9,9 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck typecheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck typecheck fuzzcheck bench clean
 
-check: fmt vet build test race faultcheck perfcheck tiercheck typecheck
+check: fmt vet build test race faultcheck perfcheck tiercheck typecheck fuzzcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -83,6 +83,18 @@ tiercheck:
 # detector, since the descriptor caches are shared across matrix workers.
 typecheck:
 	$(GO) test -race -timeout 120s -run 'TypeConfusion|Introspection|Hardened|TypedIR|Union|CheckedCast' ./...
+
+# Fuzzing-campaign gate: a fixed-seed 200-program differential campaign
+# under the race detector — tier parity (tier-0 vs forced tier-1 vs
+# async+OSR), FailNth 1..2 fault-schedule parity, cross-tool blind spots,
+# every finding auto-minimized and re-verified — plus the campaign's own
+# resilience suite: resume byte-identity after cancellation and after a
+# real kill -9, worker panic storms with zero leaked goroutines, journal
+# torn-tail recovery, and the committed fuzz-find regressions.
+# The campaign package gets its own generous timeout: 200 race-instrumented
+# programs × ~10 oracle runs each is real work on a small machine.
+fuzzcheck:
+	FUZZCHECK_PROGRAMS=200 $(GO) test -race -timeout 600s -run 'Campaign|Journal|Minimize|FuzzFinds|Generate|Mutate|SweepProgress|Backoff' ./internal/campaign ./internal/gen ./internal/corpus ./internal/harness
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

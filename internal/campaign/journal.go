@@ -1,0 +1,183 @@
+package campaign
+
+// The journal is the campaign's crash-resilience substrate: an append-only
+// JSONL file, one fsynced line per judged seed, written strictly in index
+// order. Because every record is a pure function of (campaign seed, index)
+// and the write order is canonical, the journal of an interrupted-and-
+// resumed campaign is byte-identical to the journal of one that never
+// stopped — the resume test asserts exactly that, including after a kill -9
+// that tears the final line.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// journalVersion gates resume across incompatible record schemas.
+const journalVersion = 1
+
+// metaRecord is the journal's first line: the campaign parameters that
+// determine every subsequent record. Resume refuses a journal whose meta
+// does not match the live options — continuing under different parameters
+// would silently produce a franken-campaign no seed can reproduce.
+type metaRecord struct {
+	T           string `json:"t"` // "meta"
+	V           int    `json:"v"`
+	Seed        uint64 `json:"seed"`
+	Programs    int    `json:"programs"`
+	MaxNth      int64  `json:"maxnth"`
+	MutateEvery int    `json:"mutateEvery"`
+	MaxSteps    int64  `json:"maxSteps"`
+	// MinimizeBudget and TimeoutNS are part of the identity too: both
+	// change record contents (minimized sources, wall-clock quarantines),
+	// so resuming under different values would break byte-identity.
+	MinimizeBudget int   `json:"minimizeBudget"`
+	TimeoutNS      int64 `json:"timeoutNs,omitempty"`
+}
+
+// seedRecord is one judged seed. Class "ok" (no divergence), "reject"
+// (did not compile — grammar debt, not a finding), "quarantine" (the run
+// was not judgeable: wall-clock deadline, infrastructure error, or the
+// worker executing it died), or "find".
+type seedRecord struct {
+	T     string `json:"t"` // "seed"
+	I     int    `json:"i"`
+	S     uint64 `json:"s"`
+	C     string `json:"c"`
+	Gen   string `json:"gen,omitempty"`   // "gen" or "mut:<corpus case>"
+	Bug   string `json:"bug,omitempty"`   // generator's injected-bug tag
+	K     string `json:"k,omitempty"`     // finding kind
+	Sig   string `json:"sig,omitempty"`   // divergence signature
+	Src   string `json:"src,omitempty"`   // finding source, pre-minimization
+	Min   string `json:"min,omitempty"`   // minimized source
+	MinOK bool   `json:"minok,omitempty"` // minimizer re-verified the find
+	R     string `json:"r,omitempty"`     // quarantine/reject reason
+}
+
+// journal is the open append handle. Writes go through appendRecord, which
+// fsyncs per line: a record either made it to stable storage in full or the
+// resume path truncates its torn remnant.
+type journal struct {
+	f *os.File
+}
+
+// createJournal starts a fresh journal with the meta header. Refuses to
+// clobber an existing non-empty journal unless resume already vetted it —
+// losing 9k judged seeds to a forgotten -resume flag is exactly the kind of
+// loss this file exists to prevent.
+func createJournal(path string, meta metaRecord) (*journal, error) {
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return nil, fmt.Errorf("journal %s already exists (%d bytes); pass Resume to continue it", path, st.Size())
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &journal{f: f}
+	line, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := j.appendLine(line); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// loadJournal reopens an interrupted journal for resume: it validates the
+// meta header against the live campaign, parses every complete record, and
+// truncates a torn final line (a kill -9 mid-write leaves one) so appends
+// continue from the last durable record boundary. Records are returned in
+// the canonical index order they were written in.
+func loadJournal(path string, want metaRecord) (*journal, []seedRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+
+	var recs []seedRecord
+	offset := int64(0) // end of the last complete, parseable line
+	sawMeta := false
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: no terminator, the write did not complete
+		}
+		line := data[:nl]
+		if !sawMeta {
+			var meta metaRecord
+			if err := json.Unmarshal(line, &meta); err != nil || meta.T != "meta" {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal %s: first line is not a meta record", path)
+			}
+			if meta != want {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal %s was written by a different campaign (%+v); refusing to resume with %+v", path, meta, want)
+			}
+			sawMeta = true
+		} else {
+			var rec seedRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.T != "seed" {
+				break // torn or corrupt line: everything after it is unusable
+			}
+			if rec.I != len(recs) {
+				// Out-of-order index means the in-order writer invariant was
+				// violated upstream; treat everything from here as unusable.
+				break
+			}
+			recs = append(recs, rec)
+		}
+		offset += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	if !sawMeta {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: no complete meta record (empty or torn header); delete it and start over", path)
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f}, recs, nil
+}
+
+// appendRecord durably appends one seed record.
+func (j *journal) appendRecord(rec seedRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return j.appendLine(line)
+}
+
+// appendLine writes line + '\n' and fsyncs. The sync per record is the
+// checkpoint guarantee: after appendRecord returns, a kill -9 cannot lose
+// the record, only tear a later one.
+func (j *journal) appendLine(line []byte) error {
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

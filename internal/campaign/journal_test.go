@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMeta() metaRecord {
+	return metaRecord{T: "meta", V: journalVersion, Seed: 7, Programs: 10, MaxNth: 2, MutateEvery: 4, MaxSteps: 100, MinimizeBudget: 300}
+}
+
+func writeJournalFile(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const metaLine = `{"t":"meta","v":1,"seed":7,"programs":10,"maxnth":2,"mutateEvery":4,"maxSteps":100,"minimizeBudget":300}` + "\n"
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := writeJournalFile(t,
+		metaLine,
+		`{"t":"seed","i":0,"s":11,"c":"ok"}`+"\n",
+		`{"t":"seed","i":1,"s":12,"c":"reject","r":"parse"}`+"\n",
+		`{"t":"seed","i":2,"s":13,"c":"o`, // torn mid-write: no terminator
+	)
+	j, recs, err := loadJournal(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 2 || recs[0].C != "ok" || recs[1].C != "reject" {
+		t.Fatalf("recs = %+v, want the 2 complete records", recs)
+	}
+	// The torn bytes are gone from disk and appends continue cleanly.
+	if err := j.appendRecord(seedRecord{T: "seed", I: 2, S: 13, C: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), `"c":"o`+"\n") || strings.Count(string(data), "\n") != 4 {
+		t.Fatalf("journal after truncate+append:\n%s", data)
+	}
+}
+
+func TestJournalStopsAtCorruptLine(t *testing.T) {
+	path := writeJournalFile(t,
+		metaLine,
+		`{"t":"seed","i":0,"s":11,"c":"ok"}`+"\n",
+		"not json at all\n",
+		`{"t":"seed","i":1,"s":12,"c":"ok"}`+"\n", // unreachable: after corruption
+	)
+	j, recs, err := loadJournal(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 1 {
+		t.Fatalf("recs = %+v, want just the record before the corruption", recs)
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "not json") {
+		t.Fatalf("corrupt bytes survived truncation:\n%s", data)
+	}
+}
+
+func TestJournalStopsAtOutOfOrderIndex(t *testing.T) {
+	path := writeJournalFile(t,
+		metaLine,
+		`{"t":"seed","i":0,"s":11,"c":"ok"}`+"\n",
+		`{"t":"seed","i":5,"s":12,"c":"ok"}`+"\n", // in-order writer never does this
+	)
+	j, recs, err := loadJournal(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 1 {
+		t.Fatalf("recs = %+v, want 1 (out-of-order tail discarded)", recs)
+	}
+}
+
+func TestJournalRefusesMetaMismatch(t *testing.T) {
+	path := writeJournalFile(t, metaLine)
+	other := testMeta()
+	other.Seed = 99
+	if _, _, err := loadJournal(path, other); err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("err = %v, want meta-mismatch refusal", err)
+	}
+}
+
+func TestJournalRefusesTornMeta(t *testing.T) {
+	path := writeJournalFile(t, `{"t":"meta","v":1`) // torn header, no newline
+	if _, _, err := loadJournal(path, testMeta()); err == nil {
+		t.Fatal("want error for torn meta header")
+	}
+}
+
+func TestCreateJournalRefusesClobber(t *testing.T) {
+	path := writeJournalFile(t, metaLine)
+	if _, err := createJournal(path, testMeta()); err == nil || !strings.Contains(err.Error(), "Resume") {
+		t.Fatalf("err = %v, want clobber refusal pointing at Resume", err)
+	}
+}

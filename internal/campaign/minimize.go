@@ -1,0 +1,121 @@
+package campaign
+
+// Line-granular delta debugging (ddmin) over a finding's source, re-checked
+// against the originating oracle after every candidate deletion. A raw
+// generated program is ~60 lines of mostly-irrelevant checksum traffic; the
+// minimizer shrinks it to the handful of lines the divergence actually
+// needs, which is what gets committed to the corpus and what a human reads.
+//
+// The check function IS the oracle: minimization of a tier divergence
+// re-runs both tiers on every candidate, so the shrunk program provably
+// still diverges — a minimized case is a re-verified case by construction.
+
+import "strings"
+
+// minimize shrinks src to a 1-minimal set of lines that still satisfies
+// check, spending at most budget check invocations. The returned ok is true
+// when the original finding re-verified (check(src) held); when it did not
+// — the finding is flaky — minimize returns ("", false) and the caller
+// keeps the raw source with a flakiness mark.
+func minimize(src string, check func(string) bool, budget int) (string, bool) {
+	calls := 0
+	test := func(lines []string) bool {
+		if calls >= budget {
+			return false
+		}
+		calls++
+		return check(strings.Join(lines, "\n"))
+	}
+
+	lines := strings.Split(src, "\n")
+	if !test(lines) {
+		return "", false
+	}
+
+	// Classic ddmin: partition into n chunks, try each chunk alone, then
+	// each complement, refining granularity until 1-minimal.
+	n := 2
+	for len(lines) >= 2 {
+		if n > len(lines) {
+			n = len(lines)
+		}
+		chunks := split(lines, n)
+		reduced := false
+		// Complements first: deleting one chunk at a time converges much
+		// faster on programs where most lines are irrelevant.
+		for i := range chunks {
+			cand := without(chunks, i)
+			if test(cand) {
+				lines = cand
+				n--
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Subsets: a single chunk alone suffices.
+		if n > 2 {
+			for _, chunk := range chunks {
+				if len(chunk) < len(lines) && test(chunk) {
+					lines = chunk
+					n = 2
+					reduced = true
+					break
+				}
+			}
+			if reduced {
+				continue
+			}
+		}
+		if n >= len(lines) {
+			break // 1-minimal
+		}
+		n *= 2
+		if calls >= budget {
+			break
+		}
+	}
+
+	// Final polish: drop now-empty lines that survived as chunk residue.
+	var out []string
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	if len(out) < len(lines) {
+		if test(out) {
+			lines = out
+		}
+	}
+	return strings.Join(lines, "\n"), true
+}
+
+// split partitions lines into n nearly-equal contiguous chunks.
+func split(lines []string, n int) [][]string {
+	chunks := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(lines) / n
+		hi := (i + 1) * len(lines) / n
+		if lo < hi {
+			chunks = append(chunks, lines[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// without concatenates every chunk except the i'th.
+func without(chunks [][]string, i int) []string {
+	var out []string
+	for k, c := range chunks {
+		if k != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// minimize must shrink to exactly the lines the predicate needs, regardless
+// of where they sit in the program.
+func TestMinimizeFindsNeedles(t *testing.T) {
+	var lines []string
+	for i := 0; i < 40; i++ {
+		switch i {
+		case 7:
+			lines = append(lines, "NEEDLE-A")
+		case 31:
+			lines = append(lines, "NEEDLE-B")
+		default:
+			lines = append(lines, fmt.Sprintf("filler %d", i))
+		}
+	}
+	src := strings.Join(lines, "\n")
+	calls := 0
+	check := func(s string) bool {
+		calls++
+		return strings.Contains(s, "NEEDLE-A") && strings.Contains(s, "NEEDLE-B")
+	}
+	min, ok := minimize(src, check, 10_000)
+	if !ok {
+		t.Fatal("original did not re-verify")
+	}
+	if min != "NEEDLE-A\nNEEDLE-B" {
+		t.Fatalf("minimized to %q", min)
+	}
+	if calls > 400 {
+		t.Fatalf("minimizer spent %d checks on a 40-line input", calls)
+	}
+}
+
+// A finding that does not reproduce on re-check is reported as flaky, not
+// silently passed through.
+func TestMinimizeFlagsFlakyFinding(t *testing.T) {
+	min, ok := minimize("a\nb\nc", func(string) bool { return false }, 100)
+	if ok || min != "" {
+		t.Fatalf("minimize = (%q, %v), want flaky signal", min, ok)
+	}
+}
+
+// An exhausted budget keeps the current (still-verified) candidate instead
+// of overshooting.
+func TestMinimizeHonorsBudget(t *testing.T) {
+	src := strings.Repeat("x\n", 63) + "KEY"
+	calls := 0
+	min, ok := minimize(src, func(s string) bool {
+		calls++
+		return strings.Contains(s, "KEY")
+	}, 5)
+	if !ok {
+		t.Fatal("original should verify within budget")
+	}
+	if calls > 5 {
+		t.Fatalf("minimizer made %d checks, budget was 5", calls)
+	}
+	if !strings.Contains(min, "KEY") {
+		t.Fatalf("budget-capped result lost the needle: %q", min)
+	}
+}

@@ -1,0 +1,49 @@
+package corpus_test
+
+// Regression tests for committed campaign finds: every find must keep
+// reproducing its cross-tool blind spot (Safe Sulong detects, the simulated
+// native tools at -O0 stay silent), and must never leak into the pinned
+// paper corpus.
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+func TestFuzzFindsStayBlindSpots(t *testing.T) {
+	finds := corpus.FuzzFinds()
+	if len(finds) == 0 {
+		t.Fatal("no committed fuzz finds")
+	}
+	for _, c := range finds {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			safe := harness.RunCase(c, harness.SafeSulong)
+			if !safe.Detected {
+				t.Fatalf("SafeSulong no longer detects %s: %s", c.Name, safe.Status())
+			}
+			for _, tool := range []harness.Tool{harness.ASanO0, harness.ValgrindO0, harness.NativeO0} {
+				d := harness.RunCase(c, tool)
+				if d.Detected || d.Crashed {
+					t.Fatalf("%s now sees %s (%s) — the blind spot this find documents has closed; "+
+						"if that is an intentional tool improvement, retire the find explicitly", tool, c.Name, d.Status())
+				}
+			}
+		})
+	}
+}
+
+func TestFuzzFindsSeparateFromPaperCorpus(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range corpus.All() {
+		names[c.Name] = true
+	}
+	for _, f := range corpus.FuzzFinds() {
+		if names[f.Name] {
+			t.Fatalf("fuzz find %q is also in the pinned paper corpus", f.Name)
+		}
+	}
+}

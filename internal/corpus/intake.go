@@ -1,0 +1,55 @@
+package corpus
+
+// Intake is the bridge from the fuzzing campaign (internal/campaign) to the
+// corpus: a minimized finding is emitted as one self-describing JSON file
+// whose provenance — campaign seed, generator, oracle class, divergence
+// signature — is enough to regenerate and re-verify the find from scratch.
+// Promoting an intake file to a committed case is a human act (it lands in
+// fuzzfinds.go with a regression test), so the intake format is the durable
+// hand-off, not a hidden pipeline.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// IntakeCase is one campaign finding in corpus-shaped form.
+type IntakeCase struct {
+	// Name is the proposed case name ("fuzz-<kind>-<seed>").
+	Name string `json:"name"`
+	// Seed regenerates the original (pre-minimization) program via
+	// gen.Generate / gen.Mutate — the find's birth certificate.
+	Seed uint64 `json:"seed"`
+	// Generator is "gen" (grammar) or "mut:<corpus case>" (mutator).
+	Generator string `json:"generator"`
+	// Class is the campaign finding kind (campaign.Kind* constants).
+	Class string `json:"class"`
+	// Signature is the divergence signature the oracle recorded.
+	Signature string `json:"signature"`
+	// Bug is the generator's injected-bug tag, when the program was born
+	// with an intended defect ("" for accidental finds — the valuable ones).
+	Bug string `json:"bug,omitempty"`
+	// Verified reports that Source is the minimized program and the
+	// minimizer re-checked it against the originating oracle. False means
+	// Source is raw and the find may be flaky.
+	Verified bool `json:"verified"`
+	// Source is the program (minimized when Verified).
+	Source string `json:"source"`
+}
+
+// ParseIntake decodes and validates one intake file.
+func ParseIntake(data []byte) (IntakeCase, error) {
+	var ic IntakeCase
+	if err := json.Unmarshal(data, &ic); err != nil {
+		return IntakeCase{}, fmt.Errorf("intake: %w", err)
+	}
+	switch {
+	case ic.Name == "":
+		return IntakeCase{}, fmt.Errorf("intake: missing name")
+	case ic.Source == "":
+		return IntakeCase{}, fmt.Errorf("intake %s: missing source", ic.Name)
+	case ic.Class == "":
+		return IntakeCase{}, fmt.Errorf("intake %s: missing class", ic.Name)
+	}
+	return ic, nil
+}

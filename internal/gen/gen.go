@@ -1,0 +1,504 @@
+// Package gen is the campaign's seeded C program generator: a csmith-lite
+// grammar over the subset of C the front end (internal/cc) accepts, built
+// for differential testing rather than breadth. Every program is a pure
+// function of its uint64 seed — the same splitmix64 stream the fault plane
+// uses — so a campaign can shard, checkpoint, and resume a seed space and
+// regenerate byte-identical programs anywhere.
+//
+// Generated programs are self-checking in the differential sense: they fold
+// every computation into one unsigned checksum printed on the last line, so
+// a wrong-code bug in any engine tier shows up as a stdout divergence even
+// when no checker fires. Loops have static bounds and there is no
+// recursion, so programs terminate within a small deterministic step
+// budget; heap allocations mostly check for NULL, so injected allocation
+// failures (fault.Plan) exercise the guest's own error paths instead of
+// trivially crashing.
+//
+// A configurable fraction of programs deliberately carries one classic
+// memory bug (tagged in Info.Bug) — off-by-one walks, far global reads,
+// string overflows, use-after-free, union punning, bad casts — which feeds
+// the cross-tool oracle: bugs the managed engine reports but the simulated
+// native tools miss are the corpus-growth channel.
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Info is one generated (or mutated) program plus its provenance.
+type Info struct {
+	Seed   uint64
+	Source string
+	// Bug tags the deliberately injected defect ("" when the program is
+	// intended clean — though clean intent is not a guarantee: the grammar
+	// can still compose accidental bugs, which is the point of fuzzing).
+	Bug string
+}
+
+// rng is the deterministic splitmix64 stream behind every generator
+// decision. Identical to the fault plane's PRNG, so the whole campaign
+// rests on one portable generator.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// n returns a value in [0, max). max must be > 0.
+func (r *rng) n(max int) int { return int(r.next() % uint64(max)) }
+
+// in returns a value in [lo, hi] inclusive.
+func (r *rng) in(lo, hi int) int { return lo + r.n(hi-lo+1) }
+
+// chance reports true with probability pct/100.
+func (r *rng) chance(pct int) bool { return r.n(100) < pct }
+
+func (r *rng) pick(ss []string) string { return ss[r.n(len(ss))] }
+
+// arr is one in-scope array the expression grammar can index.
+type arr struct {
+	name string
+	elem string // "int", "long", "char"
+	n    int    // element count
+	heap bool   // heap-allocated (needs free, may be NULL-checked)
+}
+
+// prog accumulates the program under construction.
+type prog struct {
+	r       *rng
+	globals []string // global declaration lines
+	funcs   []string // helper function definitions
+	body    []string // main body statements (indented)
+	arrays  []arr    // in-scope arrays (globals + main locals + heap)
+	scalars []string // in-scope int-valued scalars in main
+	helpers []string // helper function names: int f(int, int)
+	walkers []string // helper names: long w(int *p, int n)
+	nstruct int
+	bug     string
+	freed   bool // the injected bug already freed the heap block
+}
+
+func (p *prog) stmt(format string, args ...any) {
+	p.body = append(p.body, "    "+fmt.Sprintf(format, args...))
+}
+
+// SeedAt derives the idx'th per-program seed of a campaign from the
+// campaign's root seed: one splitmix64 step keyed by the index. Workers can
+// therefore claim any slice of the index space without coordinating — the
+// seed for index i never depends on who generated indices < i — and a
+// resumed campaign reproduces exactly the seeds the interrupted one would
+// have used.
+func SeedAt(campaign uint64, idx int) uint64 {
+	r := &rng{s: campaign + uint64(idx)*0x9e3779b97f4a7c15}
+	return r.next()
+}
+
+// Generate builds the seed'th program of the campaign grammar.
+func Generate(seed uint64) Info {
+	r := &rng{s: seed}
+	// Burn a few draws so adjacent seeds decorrelate beyond the first
+	// decision (splitmix64 is an increment-based stream).
+	r.next()
+	r.next()
+	p := &prog{r: r}
+
+	p.emitGlobals()
+	p.emitHelpers()
+	p.emitMainIntro()
+	segments := r.in(3, 6)
+	for i := 0; i < segments; i++ {
+		p.emitSegment(i)
+	}
+	if r.chance(bugRate) {
+		p.emitBug()
+	}
+	p.emitMainOutro()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* generated: seed=%#x */\n", seed)
+	b.WriteString("#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\n\n")
+	for _, g := range p.globals {
+		b.WriteString(g)
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	for _, f := range p.funcs {
+		b.WriteString(f)
+		b.WriteString("\n")
+	}
+	b.WriteString("int main(void) {\n")
+	for _, s := range p.body {
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return Info{Seed: seed, Source: b.String(), Bug: p.bug}
+}
+
+// bugRate is the percentage of generated programs that carry one deliberate
+// defect. Low enough that most programs exercise the clean differential
+// path end to end, high enough that a few-hundred-program campaign still
+// feeds the cross-tool oracle.
+const bugRate = 14
+
+func (p *prog) emitGlobals() {
+	r := p.r
+	ng := r.in(1, 3)
+	for i := 0; i < ng; i++ {
+		name := fmt.Sprintf("g%d", i)
+		elem := r.pick([]string{"int", "long", "int", "short"})
+		n := r.in(4, 9)
+		vals := make([]string, n)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("%d", r.in(-9, 99))
+		}
+		p.globals = append(p.globals, fmt.Sprintf("%s %s[%d] = {%s};", elem, name, n, strings.Join(vals, ", ")))
+		if elem != "short" { // the expression grammar indexes int/long arrays
+			p.arrays = append(p.arrays, arr{name: name, elem: elem, n: n})
+		}
+	}
+	// A global string for the strlen/strcpy family.
+	s := "abcdefghijklmnop"[:r.in(4, 12)]
+	p.globals = append(p.globals, fmt.Sprintf("char gstr[%d] = \"%s\";", len(s)+r.in(1, 4), s))
+	// Sometimes a struct type with an embedded array, and a global instance.
+	if r.chance(60) {
+		p.nstruct = 1
+		n := r.in(3, 5)
+		p.globals = append(p.globals, fmt.Sprintf("struct S0 { int tag; int v[%d]; long acc; };", n))
+		p.globals = append(p.globals, "struct S0 gs;")
+	}
+	// Sometimes a union type for the punning play.
+	if r.chance(40) {
+		p.globals = append(p.globals, "union U0 { int i; long l; float f; };")
+	}
+}
+
+func (p *prog) emitHelpers() {
+	r := p.r
+	nf := r.in(1, 2)
+	for i := 0; i < nf; i++ {
+		name := fmt.Sprintf("f%d", i)
+		op := r.pick([]string{"+", "-", "^", "|"})
+		mod := r.in(3, 17)
+		lines := []string{
+			fmt.Sprintf("int %s(int a, int b) {", name),
+			"    int t = a;",
+			"    int i;",
+			fmt.Sprintf("    for (i = 0; i < (b & %d); i++) {", r.in(3, 7)),
+			fmt.Sprintf("        t = (t * %d %s i) + %d;", r.in(2, 5), op, r.in(0, 9)),
+			"    }",
+			"    if (t < 0) t = -t;",
+			fmt.Sprintf("    return t %% %d;", mod),
+			"}",
+		}
+		p.funcs = append(p.funcs, strings.Join(lines, "\n"))
+		p.helpers = append(p.helpers, name)
+	}
+	// An array walker taking a pointer + length: the aliasing workhorse.
+	w := fmt.Sprintf("w%d", 0)
+	lines := []string{
+		fmt.Sprintf("long %s(int *a, int n) {", w),
+		"    long acc = 0;",
+		"    int i;",
+		"    for (i = 0; i < n; i++) {",
+		fmt.Sprintf("        acc += a[i] * (i + %d);", r.in(1, 3)),
+		"    }",
+		"    return acc;",
+		"}",
+	}
+	p.funcs = append(p.funcs, strings.Join(lines, "\n"))
+	p.walkers = append(p.walkers, w)
+	if p.nstruct > 0 {
+		lines := []string{
+			"int sget(struct S0 *s, int k) {",
+			"    if (k < 0) k = -k;",
+			fmt.Sprintf("    return s->v[k %% %d] + s->tag;", p.structVLen()),
+			"}",
+		}
+		p.funcs = append(p.funcs, strings.Join(lines, "\n"))
+	}
+}
+
+// structVLen recovers the declared length of struct S0's embedded array
+// from the global declaration (cheaper than threading it through).
+func (p *prog) structVLen() int {
+	for _, g := range p.globals {
+		var n int
+		if _, err := fmt.Sscanf(g, "struct S0 { int tag; int v[%d]", &n); err == nil {
+			return n
+		}
+	}
+	return 3
+}
+
+func (p *prog) emitMainIntro() {
+	r := p.r
+	p.stmt("unsigned long chk = %dul;", r.in(1, 9999))
+	p.stmt("int i;")
+	p.stmt("int j;")
+	ns := r.in(2, 4)
+	for i := 0; i < ns; i++ {
+		name := fmt.Sprintf("x%d", i)
+		p.stmt("int %s = %d;", name, r.in(-20, 80))
+		p.scalars = append(p.scalars, name)
+	}
+	// A stack array.
+	n := r.in(4, 8)
+	vals := make([]string, n)
+	for j := range vals {
+		vals[j] = fmt.Sprintf("%d", r.in(0, 50))
+	}
+	p.stmt("int loc[%d] = {%s};", n, strings.Join(vals, ", "))
+	p.arrays = append(p.arrays, arr{name: "loc", elem: "int", n: n})
+	// A heap array, usually NULL-checked so fault schedules exercise the
+	// guest's own error path instead of an uninteresting crash.
+	hn := r.in(4, 10)
+	p.stmt("int *hp = malloc(%d * sizeof(int));", hn)
+	if r.chance(85) {
+		p.stmt("if (!hp) { printf(\"chk=oom\\n\"); return 1; }")
+	}
+	p.stmt("for (i = 0; i < %d; i++) hp[i] = i * %d + %d;", hn, r.in(1, 7), r.in(0, 5))
+	p.arrays = append(p.arrays, arr{name: "hp", elem: "int", n: hn, heap: true})
+	if p.nstruct > 0 {
+		p.stmt("gs.tag = %d;", r.in(1, 9))
+		p.stmt("for (i = 0; i < %d; i++) gs.v[i] = i + %d;", p.structVLen(), r.in(0, 9))
+		p.stmt("gs.acc = 0;")
+	}
+}
+
+// expr builds a small int-valued expression from in-scope material.
+func (p *prog) expr(depth int) string {
+	r := p.r
+	if depth <= 0 || r.chance(30) {
+		switch r.n(4) {
+		case 0:
+			return fmt.Sprintf("%d", r.in(-9, 99))
+		case 1:
+			return p.scalars[r.n(len(p.scalars))]
+		case 2:
+			a := p.arrays[r.n(len(p.arrays))]
+			v := fmt.Sprintf("%s[%d]", a.name, r.n(a.n))
+			if a.elem != "int" {
+				v = "(int)" + v
+			}
+			return v
+		default:
+			return fmt.Sprintf("(i + %d)", r.in(0, 3))
+		}
+	}
+	switch r.n(6) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", p.expr(depth-1), r.pick([]string{"+", "-", "*", "^", "&", "|"}), p.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s >> %d)", p.expr(depth-1), r.in(1, 3))
+	case 2:
+		return fmt.Sprintf("(%s %% %d)", p.expr(depth-1), r.in(2, 17))
+	case 3:
+		if len(p.helpers) > 0 {
+			return fmt.Sprintf("%s(%s, %s)", p.pickHelper(), p.expr(depth-1), p.expr(depth-1))
+		}
+		return fmt.Sprintf("(%s + %s)", p.expr(depth-1), p.expr(depth-1))
+	case 4:
+		a := p.arrays[r.n(len(p.arrays))]
+		idx := fmt.Sprintf("((%s) & %d)", p.expr(depth-1), maskFor(a.n))
+		v := fmt.Sprintf("%s[%s]", a.name, idx)
+		if a.elem != "int" {
+			v = "(int)" + v
+		}
+		return v
+	default:
+		return fmt.Sprintf("(-(%s))", p.expr(depth-1))
+	}
+}
+
+func (p *prog) pickHelper() string { return p.helpers[p.r.n(len(p.helpers))] }
+
+// maskFor returns the largest 2^k-1 that is a valid index for an array of
+// length n, so masked dynamic indexing stays in bounds.
+func maskFor(n int) int {
+	m := 1
+	for m*2 <= n {
+		m *= 2
+	}
+	return m - 1
+}
+
+// emitSegment appends one block of work to main, always folded into chk.
+func (p *prog) emitSegment(k int) {
+	r := p.r
+	switch r.n(8) {
+	case 0: // accumulation loop over an array
+		a := p.arrays[r.n(len(p.arrays))]
+		p.stmt("for (i = 0; i < %d; i++) {", a.n)
+		p.stmt("    chk = chk * 31ul + (unsigned long)(long)(%s[i] %s %s);", a.name, r.pick([]string{"+", "^", "*"}), p.expr(1))
+		p.stmt("}")
+	case 1: // nested loop with a conditional
+		p.stmt("for (i = 0; i < %d; i++) {", r.in(2, 5))
+		p.stmt("    for (j = 0; j < %d; j++) {", r.in(2, 4))
+		p.stmt("        if (((i ^ j) & 1) == 0) {")
+		p.stmt("            chk += (unsigned long)(long)(%s);", p.expr(2))
+		p.stmt("        } else {")
+		p.stmt("            chk ^= (unsigned long)(i * %d + j);", r.in(2, 9))
+		p.stmt("        }")
+		p.stmt("    }")
+		p.stmt("}")
+	case 2: // scalar updates through the expression grammar
+		s := p.scalars[r.n(len(p.scalars))]
+		p.stmt("%s = %s;", s, p.expr(3))
+		p.stmt("chk = chk * 17ul + (unsigned long)(long)%s;", s)
+	case 3: // pointer aliasing into an array
+		a := p.arrays[r.n(len(p.arrays))]
+		if a.elem != "int" {
+			a = p.arrays[0]
+		}
+		if a.elem == "int" && a.n >= 2 {
+			off := r.n(a.n - 1)
+			p.stmt("{")
+			p.stmt("    int *ap = &%s[%d];", a.name, off)
+			p.stmt("    *ap = *ap + %d;", r.in(1, 9))
+			p.stmt("    ap[1] = ap[1] ^ %s;", p.expr(1))
+			p.stmt("    chk += (unsigned long)(long)(*ap + ap[1]);")
+			p.stmt("}")
+		}
+	case 4: // walker call over a whole array (or a suffix)
+		a := p.intArray()
+		w := p.walkers[0]
+		off := 0
+		if a.n > 2 && r.chance(40) {
+			off = r.n(a.n / 2)
+		}
+		p.stmt("chk = chk * 7ul + (unsigned long)%s(%s + %d, %d);", w, a.name, off, a.n-off)
+	case 5: // string work, in bounds
+		p.stmt("chk = chk * 13ul + (unsigned long)strlen(gstr);")
+		if r.chance(50) {
+			p.stmt("{")
+			p.stmt("    char tmp[32];")
+			p.stmt("    strcpy(tmp, gstr);")
+			p.stmt("    strcat(tmp, \"%s\");", "xy"[:r.in(1, 2)])
+			p.stmt("    chk += (unsigned long)strlen(tmp);")
+			p.stmt("}")
+		}
+	case 6: // struct traffic
+		if p.nstruct > 0 {
+			p.stmt("gs.v[%d] = gs.v[%d] + %s;", r.n(p.structVLen()), r.n(p.structVLen()), p.expr(1))
+			p.stmt("gs.acc += sget(&gs, %s);", p.expr(1))
+			p.stmt("chk = chk * 11ul + (unsigned long)gs.acc;")
+		} else {
+			p.stmt("chk ^= (unsigned long)(long)(%s);", p.expr(2))
+		}
+	default: // do-while / switch flavor for statement coverage
+		if r.chance(50) {
+			p.stmt("i = 0;")
+			p.stmt("do {")
+			p.stmt("    chk += (unsigned long)(long)(%s);", p.expr(1))
+			p.stmt("    i++;")
+			p.stmt("} while (i < %d);", r.in(1, 4))
+		} else {
+			p.stmt("switch ((%s) & 3) {", p.expr(1))
+			p.stmt("case 0: chk += 3ul; break;")
+			p.stmt("case 1: chk ^= %dul; break;", r.in(1, 99))
+			p.stmt("case 2: chk = chk * 5ul; break;")
+			p.stmt("default: chk -= 1ul; break;")
+			p.stmt("}")
+		}
+	}
+}
+
+// intArray picks an in-scope int array.
+func (p *prog) intArray() arr {
+	for tries := 0; tries < 8; tries++ {
+		a := p.arrays[p.r.n(len(p.arrays))]
+		if a.elem == "int" {
+			return a
+		}
+	}
+	for _, a := range p.arrays {
+		if a.elem == "int" {
+			return a
+		}
+	}
+	return p.arrays[0]
+}
+
+// emitBug injects one classic memory defect, tagged for the oracles.
+func (p *prog) emitBug() {
+	r := p.r
+	kinds := []string{
+		"read-overflow", "write-overflow", "loop-off-by-one", "far-global-read",
+		"strcpy-overflow", "use-after-free", "union-pun", "bad-cast", "missing-null-check",
+	}
+	kind := kinds[r.n(len(kinds))]
+	switch kind {
+	case "read-overflow":
+		a := p.arrays[r.n(len(p.arrays))]
+		p.stmt("chk += (unsigned long)(long)%s[%d]; /* one past the end */", a.name, a.n)
+	case "write-overflow":
+		a := p.arrays[r.n(len(p.arrays))]
+		p.stmt("%s[%d] = %d; /* one past the end */", a.name, a.n, r.in(1, 9))
+		p.stmt("chk += (unsigned long)(long)%s[0];", a.name)
+	case "loop-off-by-one":
+		a := p.arrays[r.n(len(p.arrays))]
+		p.stmt("for (i = 0; i <= %d; i++) { /* <= walks one past */", a.n)
+		p.stmt("    chk += (unsigned long)(long)%s[i];", a.name)
+		p.stmt("}")
+	case "far-global-read":
+		// Far past any redzone: the classic escape (Fig. 14 shape).
+		a := p.arrays[0]
+		p.stmt("chk += (unsigned long)(long)%s[%d]; /* far out of bounds */", a.name, a.n+r.in(40, 200))
+	case "strcpy-overflow":
+		p.stmt("{")
+		p.stmt("    char small[4];")
+		p.stmt("    strcpy(small, \"overflowing-text\");")
+		p.stmt("    chk += (unsigned long)small[0];")
+		p.stmt("}")
+	case "use-after-free":
+		p.stmt("free(hp);")
+		p.stmt("chk += (unsigned long)(long)hp[%d]; /* stale */", r.n(3))
+		p.bug = kind
+		p.freed = true
+		return
+	case "union-pun":
+		if !p.hasUnion() {
+			p.globals = append(p.globals, "union U0 { int i; long l; float f; };")
+		}
+		p.stmt("{")
+		p.stmt("    union U0 u;")
+		p.stmt("    u.i = %d;", r.in(1, 99))
+		p.stmt("    chk += (unsigned long)u.f; /* read through the wrong arm */")
+		p.stmt("}")
+	case "bad-cast":
+		p.stmt("{")
+		p.stmt("    char raw[%d];", r.in(2, 6))
+		p.stmt("    long *lp = (long *)raw; /* object too small for the type */")
+		p.stmt("    chk += (unsigned long)*lp;")
+		p.stmt("}")
+	case "missing-null-check":
+		p.stmt("{")
+		p.stmt("    int *big = malloc((unsigned long)1 << 62); /* fails */")
+		p.stmt("    chk += (unsigned long)(long)big[0];")
+		p.stmt("}")
+	}
+	p.bug = kind
+}
+
+func (p *prog) hasUnion() bool {
+	for _, g := range p.globals {
+		if strings.HasPrefix(g, "union U0") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *prog) emitMainOutro() {
+	if !p.freed {
+		p.stmt("free(hp);")
+	}
+	p.stmt("printf(\"chk=%%lu\\n\", chk);")
+	p.stmt("return (int)(chk %% 23ul);")
+}

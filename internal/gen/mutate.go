@@ -1,0 +1,191 @@
+package gen
+
+// The mutator is the campaign's second program source: instead of growing a
+// program from the grammar, it takes an existing corpus case — already known
+// to exercise an interesting engine path — and applies a small number of
+// seeded, syntax-preserving edits. Mutations are deliberately the bug
+// classes the paper catalogs as root causes (§4.1): off-by-one comparisons,
+// tweaked sizes and indices, deleted NULL checks, doubled frees. A mutant
+// that still compiles probes engine behavior just off the corpus's
+// well-tested paths, which is where tier or tool divergences hide.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// mutation is one syntax-preserving edit attempt. Each returns the edited
+// source and a tag, or ("", "") when the edit does not apply.
+type mutation func(r *rng, src string) (string, string)
+
+var intLit = regexp.MustCompile(`\b\d+\b`)
+
+var mutations = []mutation{
+	// Tweak an integer literal: the size/index/bound family of bugs.
+	func(r *rng, src string) (string, string) {
+		locs := intLit.FindAllStringIndex(src, -1)
+		if len(locs) == 0 {
+			return "", ""
+		}
+		loc := locs[r.n(len(locs))]
+		var v int
+		fmt.Sscanf(src[loc[0]:loc[1]], "%d", &v)
+		nv := v
+		switch r.n(4) {
+		case 0:
+			nv = v + 1
+		case 1:
+			if v > 0 {
+				nv = v - 1
+			} else {
+				nv = v + 1
+			}
+		case 2:
+			nv = v * 2
+		default:
+			nv = v/2 + 1
+		}
+		if nv == v {
+			nv = v + 1
+		}
+		return src[:loc[0]] + fmt.Sprintf("%d", nv) + src[loc[1]:], fmt.Sprintf("int-literal %d->%d", v, nv)
+	},
+	// Relational off-by-one: < ↔ <=, > ↔ >=.
+	func(r *rng, src string) (string, string) {
+		pairs := [][2]string{{"<=", "<"}, {"<", "<="}, {">=", ">"}, {">", ">="}}
+		pr := pairs[r.n(len(pairs))]
+		idxs := findOps(src, pr[0])
+		if len(idxs) == 0 {
+			return "", ""
+		}
+		i := idxs[r.n(len(idxs))]
+		return src[:i] + pr[1] + src[i+len(pr[0]):], fmt.Sprintf("relop %s->%s", pr[0], pr[1])
+	},
+	// Index arithmetic: flip a + to a - (or back) inside brackets.
+	func(r *rng, src string) (string, string) {
+		var idxs []int
+		depth := 0
+		for i := 0; i < len(src); i++ {
+			switch src[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '+', '-':
+				if depth > 0 && i+1 < len(src) && src[i+1] == ' ' {
+					idxs = append(idxs, i)
+				}
+			}
+		}
+		if len(idxs) == 0 {
+			return "", ""
+		}
+		i := idxs[r.n(len(idxs))]
+		repl := "-"
+		if src[i] == '-' {
+			repl = "+"
+		}
+		return src[:i] + repl + src[i+1:], "index-sign"
+	},
+	// Delete a NULL check line: the missing-check family.
+	func(r *rng, src string) (string, string) {
+		lines := strings.Split(src, "\n")
+		var cand []int
+		for i, l := range lines {
+			t := strings.TrimSpace(l)
+			if strings.HasPrefix(t, "if") &&
+				(strings.Contains(t, "== NULL") || strings.Contains(t, "!= NULL") || strings.Contains(t, "if (!")) &&
+				strings.Contains(t, "{") == strings.Contains(t, "}") {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			return "", ""
+		}
+		i := cand[r.n(len(cand))]
+		lines = append(lines[:i], lines[i+1:]...)
+		return strings.Join(lines, "\n"), "drop-null-check"
+	},
+	// Double a free: the UAF/double-free family.
+	func(r *rng, src string) (string, string) {
+		lines := strings.Split(src, "\n")
+		var cand []int
+		for i, l := range lines {
+			t := strings.TrimSpace(l)
+			if strings.HasPrefix(t, "free(") && strings.HasSuffix(t, ";") {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			return "", ""
+		}
+		i := cand[r.n(len(cand))]
+		lines = append(lines[:i+1], append([]string{lines[i]}, lines[i+1:]...)...)
+		return strings.Join(lines, "\n"), "double-free"
+	},
+	// Drop a `+ 1` (the forgot-the-NUL family).
+	func(r *rng, src string) (string, string) {
+		i := strings.Index(src, " + 1)")
+		if i < 0 {
+			return "", ""
+		}
+		return src[:i] + src[i+4:], "drop-plus-one"
+	},
+}
+
+// findOps locates standalone occurrences of op ("<" must not match "<=").
+func findOps(src, op string) []int {
+	var out []int
+	for i := 0; i+len(op) <= len(src); i++ {
+		if src[i:i+len(op)] != op {
+			continue
+		}
+		if len(op) == 1 {
+			next := byte(0)
+			if i+1 < len(src) {
+				next = src[i+1]
+			}
+			if next == '=' || next == op[0] { // relational only, not << or <=
+				continue
+			}
+			prev := byte(0)
+			if i > 0 {
+				prev = src[i-1]
+			}
+			if prev == op[0] || prev == '<' || prev == '>' || prev == '-' { // <<, ->
+				continue
+			}
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Mutate applies 1–3 seeded mutations to src (typically a corpus case) and
+// reports what it did. Deterministic for a given (src, seed). When no
+// mutation applies the source is returned unchanged with Bug == "".
+func Mutate(src string, seed uint64) Info {
+	r := &rng{s: seed ^ 0xa5a5a5a55a5a5a5a}
+	r.next()
+	var tags []string
+	cur := src
+	k := r.in(1, 3)
+	for i := 0; i < k; i++ {
+		// Not every operator applies to every source (no NULL check to
+		// delete, no free to double); rotate through the list from a seeded
+		// starting point until one takes.
+		start := r.n(len(mutations))
+		for off := 0; off < len(mutations); off++ {
+			m := mutations[(start+off)%len(mutations)]
+			next, tag := m(r, cur)
+			if next == "" || next == cur {
+				continue
+			}
+			cur = next
+			tags = append(tags, tag)
+			break
+		}
+	}
+	return Info{Seed: seed, Source: cur, Bug: strings.Join(tags, ",")}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// The retry backoff must never outlive the cell's own budget: a
+// quarantine-bound cell with a wall-clock Timeout quarantines within that
+// budget instead of sleeping out MaxRetries worth of ladder.
+func TestBackoffHonorsWallBudget(t *testing.T) {
+	flakyFailures.Store(1 << 30)
+	defer flakyFailures.Store(0)
+	start := time.Now()
+	cell := RunCaseWith(flakyCase(), SafeSulong, CaseBudget{
+		MaxRetries: 1_000,
+		Timeout:    50 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if !cell.Quarantined {
+		t.Fatalf("cell %+v, want Quarantined", cell)
+	}
+	if cell.Attempts >= 100 {
+		t.Fatalf("Attempts = %d: the budget did not stop the ladder", cell.Attempts)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("quarantine took %v, far beyond the 50ms budget", elapsed)
+	}
+}
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	want := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := retryBackoff(i + 1); got != w {
+			t.Fatalf("retryBackoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := retryBackoff(50); got != 50*time.Millisecond {
+		t.Fatalf("retryBackoff(50) = %v, want the 50ms cap", got)
+	}
+}
+
+func TestSleepBackoffRespectsDeadlineAndContext(t *testing.T) {
+	// Remaining budget smaller than the sleep: refuse without sleeping.
+	if sleepBackoff(1, time.Now().Add(time.Millisecond), nil) {
+		t.Fatal("sleepBackoff slept past the deadline")
+	}
+	// Cancelled context interrupts the sleep.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if sleepBackoff(5, time.Time{}, ctx) {
+		t.Fatal("sleepBackoff ignored a cancelled context")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled context did not interrupt the sleep")
+	}
+	// Healthy path: sleeps and reports true.
+	if !sleepBackoff(1, time.Time{}, context.Background()) {
+		t.Fatal("sleepBackoff refused a viable retry")
+	}
+}
+
+// The sweep's Progress callback reports every completed cell exactly once,
+// serialized and monotonic — the same contract the campaign driver's
+// per-seed progress hook relies on.
+func TestFaultSweepProgress(t *testing.T) {
+	cases := corpus.All()[:2]
+	var mu sync.Mutex
+	var calls [][2]int
+	FaultSweep(SweepOptions{
+		Cases: cases, MaxNth: 2, Workers: 4,
+		Progress: func(done, total int) {
+			mu.Lock()
+			calls = append(calls, [2]int{done, total})
+			mu.Unlock()
+		},
+	})
+	total := len(cases) * 2 * len(Tools())
+	if len(calls) != total {
+		t.Fatalf("Progress called %d times, want %d", len(calls), total)
+	}
+	for i, c := range calls {
+		if c[0] != i+1 || c[1] != total {
+			t.Fatalf("call %d = (%d, %d), want (%d, %d)", i, c[0], c[1], i+1, total)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -180,6 +181,20 @@ type CaseBudget struct {
 	// deterministic backoff; a cell that never recovers is quarantined
 	// instead of aborting the matrix. 0 = no retries.
 	MaxRetries int
+	// Ctx, when non-nil, cancels the cell cooperatively: the run's governor
+	// is stopped at the next basic-block boundary and a retry backoff sleep
+	// is interrupted instead of slept out. The campaign driver threads its
+	// supervision context through here so a cancelled campaign never idles
+	// in a backoff ladder. nil = context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the cell's caller context, defaulting to Background.
+func (b CaseBudget) ctx() context.Context {
+	if b.Ctx != nil {
+		return b.Ctx
+	}
+	return context.Background()
 }
 
 func (b CaseBudget) maxSteps() int64 {
@@ -190,6 +205,30 @@ func (b CaseBudget) maxSteps() int64 {
 		return 0 // engine default
 	}
 	return DefaultMaxSteps
+}
+
+// config assembles the facade configuration for one cell: the tool's engine
+// selection plus the case's inputs and the budget's bounds. Shared by the
+// matrix driver and the campaign's oracle adapters.
+func (b CaseBudget) config(c corpus.Case, tool Tool) sulong.Config {
+	cfg := tool.config()
+	cfg.Args = c.Args
+	if c.Stdin != "" {
+		cfg.Stdin = strings.NewReader(c.Stdin)
+	}
+	cfg.MaxSteps = b.maxSteps()
+	cfg.Timeout = b.Timeout
+	cfg.MaxHeapBytes = b.MaxHeapBytes
+	cfg.MaxAllocBytes = b.MaxAllocBytes
+	cfg.FaultPlan = b.FaultPlan
+	if tool == SafeSulong && b.JIT {
+		cfg.JIT = true
+		cfg.JITThreshold = b.JITThreshold
+		cfg.JITAsync = b.JITAsync
+		cfg.OSR = b.OSR
+		cfg.OSRThreshold = b.OSRThreshold
+	}
+	return cfg
 }
 
 // RunCase executes one corpus case under one tool with the default budget
@@ -209,12 +248,22 @@ func RunCase(c corpus.Case, tool Tool) Detection {
 // (5ms, 10ms, 20ms, …, capped at 50ms); a cell that never recovers is
 // marked Quarantined. Attempts records the count either way, so the cell is
 // honest about how it was produced.
+//
+// The backoff ladder respects the cell's budget: once b.Timeout worth of
+// wall clock has elapsed since the first attempt the cell quarantines
+// immediately instead of sleeping out the remaining ladder, and a cancelled
+// b.Ctx interrupts a sleep in progress the same way — a quarantine-bound
+// cell never outlives the budget its caller gave it.
 func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 	defer func() {
 		if r := recover(); r != nil {
 			d = Detection{RunError: fmt.Sprintf("internal harness error: panic: %v\n%s", r, debug.Stack()), Attempts: 1}
 		}
 	}()
+	var deadline time.Time
+	if b.Timeout > 0 {
+		deadline = time.Now().Add(b.Timeout)
+	}
 	for attempt := 1; ; attempt++ {
 		var internal bool
 		d, internal = runCaseOnce(c, tool, b)
@@ -222,12 +271,11 @@ func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 		if !internal {
 			return d
 		}
-		if attempt > b.MaxRetries {
+		if attempt > b.MaxRetries || !sleepBackoff(attempt, deadline, b.Ctx) {
 			d.Quarantined = true
 			d.RunError = fmt.Sprintf("quarantined after %d attempt(s): %s", attempt, firstLine(d.RunError))
 			return d
 		}
-		time.Sleep(retryBackoff(attempt))
 	}
 }
 
@@ -235,38 +283,43 @@ func RunCaseWith(c corpus.Case, tool Tool, b CaseBudget) (d Detection) {
 // attempts: 5ms << (attempt-1), capped at 50ms. No jitter — determinism is
 // worth more here than collision avoidance (attempts are per-cell serial).
 func retryBackoff(attempt int) time.Duration {
-	d := 5 * time.Millisecond
-	for i := 1; i < attempt && d < 50*time.Millisecond; i++ {
-		d *= 2
+	if attempt >= 5 { // 5ms << 4 = 80ms, past the cap
+		return 50 * time.Millisecond
 	}
-	if d > 50*time.Millisecond {
-		d = 50 * time.Millisecond
+	return 5 * time.Millisecond << (attempt - 1)
+}
+
+// sleepBackoff waits out the retry backoff before attempt+1, clamped to the
+// cell's remaining wall budget and interruptible by ctx. It reports whether
+// another attempt is worth making: false when the budget is already blown
+// (or would be blown by the sleep alone) or the caller gave up.
+func sleepBackoff(attempt int, deadline time.Time, ctx context.Context) bool {
+	d := retryBackoff(attempt)
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem <= d {
+			return false
+		}
 	}
-	return d
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // runCaseOnce executes a single attempt. internal reports whether the run
 // died with a contained engine panic / internal fault — the only class of
 // failure worth retrying (everything else is deterministic).
 func runCaseOnce(c corpus.Case, tool Tool, b CaseBudget) (d Detection, internal bool) {
-	cfg := tool.config()
-	cfg.Args = c.Args
-	if c.Stdin != "" {
-		cfg.Stdin = strings.NewReader(c.Stdin)
-	}
-	cfg.MaxSteps = b.maxSteps()
-	cfg.Timeout = b.Timeout
-	cfg.MaxHeapBytes = b.MaxHeapBytes
-	cfg.MaxAllocBytes = b.MaxAllocBytes
-	cfg.FaultPlan = b.FaultPlan
-	if tool == SafeSulong && b.JIT {
-		cfg.JIT = true
-		cfg.JITThreshold = b.JITThreshold
-		cfg.JITAsync = b.JITAsync
-		cfg.OSR = b.OSR
-		cfg.OSRThreshold = b.OSRThreshold
-	}
-	res, err := sulong.Run(c.Source, cfg)
+	res, err := sulong.RunCtx(b.ctx(), c.Source, b.config(c, tool))
 	if err != nil {
 		var limit *core.LimitError
 		var deadline *core.DeadlineError

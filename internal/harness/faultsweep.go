@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/fault"
@@ -25,6 +26,12 @@ type SweepOptions struct {
 	MaxSteps int64
 	// MaxHeapBytes additionally bounds guest memory per run (0 = none).
 	MaxHeapBytes int64
+	// Progress, when non-nil, is called after every completed (case, nth,
+	// tool) cell with the running count. Calls are serialized, so the
+	// callback needs no locking of its own. The campaign driver reports its
+	// per-seed progress through the same signature, so both surfaces share
+	// one mechanism (and one renderer).
+	Progress func(done, total int)
 }
 
 // SweepViolation is one assertion failure found by the sweep.
@@ -102,7 +109,20 @@ func FaultSweep(opts SweepOptions) *SweepResult {
 	}
 	grid := make([]cellOut, total)
 
+	var progressMu sync.Mutex
+	var done int
+	report := func() {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		opts.Progress(done, total)
+		progressMu.Unlock()
+	}
+
 	ForEach(total, opts.Workers, func(i int) {
+		defer report()
 		c := cases[i/(maxNth*nt)]
 		rem := i % (maxNth * nt)
 		nth := rem/nt + 1

@@ -268,7 +268,19 @@ func RunCtx(ctx context.Context, src string, cfg Config) (Result, error) {
 // is shared with every other compilation of the same (source, flavor, opt
 // level) and must be treated as immutable; with cfg.NoCache it is owned by
 // the caller.
-func CompileFor(src string, cfg Config) (*ir.Module, error) {
+//
+// Like RunModuleCtx, CompileFor is a containment boundary: a panic anywhere
+// in the front end or optimizer (a lexer/parser/codegen bug, never guest
+// behavior) is recovered and returned as a *core.InternalError instead of
+// killing the process. The fuzzing campaign feeds this path millions of
+// generated programs, where a compiler death must be a quarantined,
+// reportable finding — not the end of the run.
+func CompileFor(src string, cfg Config) (mod *ir.Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mod, err = nil, &core.InternalError{Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
 	req := pipeline.Request{
 		Source:     src,
 		ExtraFiles: cfg.ExtraFiles,
