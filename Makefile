@@ -9,9 +9,9 @@
 GO ?= go
 TEST_TIMEOUT ?= 300s
 
-.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck typecheck fuzzcheck bench clean
+.PHONY: check fmt vet build test race hangcheck diagcheck faultcheck perfcheck tiercheck typecheck fuzzcheck throughputcheck bench clean
 
-check: fmt vet build test race faultcheck perfcheck tiercheck typecheck fuzzcheck
+check: fmt vet build test race faultcheck perfcheck tiercheck typecheck fuzzcheck throughputcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -95,6 +95,17 @@ typecheck:
 # programs × ~10 oracle runs each is real work on a small machine.
 fuzzcheck:
 	FUZZCHECK_PROGRAMS=200 $(GO) test -race -timeout 600s -run 'Campaign|Journal|Minimize|FuzzFinds|Generate|Mutate|SweepProgress|Backoff' ./internal/campaign ./internal/gen ./internal/corpus ./internal/harness
+
+# Compile-once/run-many gate: the full-corpus warm-vs-cold parity pin (a
+# code-cache hit on a pooled engine must be observationally identical to a
+# cold compile — stdout, exit, Steps, Calls, diagnostics — for tier-0,
+# forced tier-1, and async+OSR, clean and fault-injected), the code cache's
+# own concurrency suite (singleflight under eviction churn, LRU bound,
+# hit-not-mutated), the perf-runner pool-reuse pin, and a schema check of
+# the committed BENCH_PR10.json throughput baseline — under the race
+# detector, since the code cache and engine pool are shared process-wide.
+throughputcheck:
+	$(GO) test -race -timeout 300s -run 'WarmColdCacheParity|BenchPR10|CodeCache|PerfRunnerPool|EnginePool' . ./internal/jit ./internal/core ./internal/harness
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

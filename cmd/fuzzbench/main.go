@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/harness"
 )
 
 // fuzzSchemaVersion identifies the -json report shape.
@@ -44,6 +45,10 @@ type fuzzReport struct {
 	WallClockMs   float64 `json:"wallClockMs"`
 	*campaign.Result
 	HardFindings int `json:"hardFindings"`
+	// Caches reports process-wide cache effectiveness (pipeline module
+	// cache, executable-code cache, engine pool), key-sorted for stable
+	// diffing across runs.
+	Caches harness.CacheReport `json:"caches"`
 }
 
 func main() {
@@ -106,6 +111,7 @@ func main() {
 			WallClockMs:   float64(elapsed.Microseconds()) / 1e3,
 			Result:        res,
 			HardFindings:  len(res.Hard()),
+			Caches:        harness.Caches(),
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -13,6 +13,11 @@
 //	perfbench -matrix [-parallel N]    # corpus-matrix wall clock, serial vs parallel
 //	perfbench -matrix -timeout 5s      # with a per-cell wall-clock deadline
 //	perfbench ... -json out.json       # machine-readable report (cache stats included)
+//	perfbench -throughput BENCH_PR10.json  # cold-vs-warm throughput for the
+//	                                   # matrix/sweep/campaign drivers: one pass
+//	                                   # with every process cache reset and the
+//	                                   # code cache opted out, one pass warm,
+//	                                   # with per-cell latency percentiles
 //	perfbench -record BENCH_PR6.json   # the tiering benchmark protocol: startup,
 //	                                   # per-second warm-up timelines (iterations
 //	                                   # plus cumulative compile/OSR/deopt events)
@@ -35,10 +40,12 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	sulong "repro"
 	"repro/internal/benchprog"
+	"repro/internal/campaign"
 	"repro/internal/harness"
 )
 
@@ -49,7 +56,9 @@ type report struct {
 	Startup []startupEntry `json:"startup,omitempty"`
 	Peak    []peakEntry    `json:"peak,omitempty"`
 	Matrix  *matrixEntry   `json:"matrix,omitempty"`
-	Cache   cacheEntry     `json:"cache"`
+	// Caches reports every process-wide cache (pipeline module cache,
+	// executable-code cache, engine pool) with key-sorted fields.
+	Caches harness.CacheReport `json:"caches"`
 }
 
 type startupEntry struct {
@@ -71,13 +80,6 @@ type matrixEntry struct {
 	Speedup             float64 `json:"speedup"`
 }
 
-type cacheEntry struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hitRate"`
-	Entries int     `json:"entries"`
-}
-
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func main() {
@@ -95,10 +97,15 @@ func main() {
 	maxSteps := flag.Int64("maxsteps", 0, "per-cell step budget for -matrix (0 = harness default)")
 	jsonOut := flag.String("json", "", "write a machine-readable report to this file")
 	record := flag.String("record", "", "record the tiering benchmark baseline to this file (BENCH_PR6.json protocol)")
+	throughput := flag.String("throughput", "", "record cold-vs-warm driver throughput to this file (BENCH_PR10.json protocol)")
 	flag.Parse()
 
 	if *record != "" {
 		recordBaseline(*record, *warmups, *samples)
+		return
+	}
+	if *throughput != "" {
+		recordThroughput(*throughput)
 		return
 	}
 
@@ -221,10 +228,13 @@ func main() {
 		}
 	}
 
-	stats := sulong.CacheStats()
-	rep.Cache = cacheEntry{Hits: stats.Hits, Misses: stats.Misses, HitRate: stats.HitRate(), Entries: stats.Entries}
+	rep.Caches = harness.Caches()
+	pc, cc, ep := rep.Caches.Pipeline, rep.Caches.CodeCache, rep.Caches.EnginePool
 	fmt.Printf("\nmodule cache: %d hits / %d misses (%.0f%% hit rate), %d entries\n",
-		stats.Hits, stats.Misses, 100*stats.HitRate(), stats.Entries)
+		pc.Hits, pc.Misses, 100*pc.HitRate, pc.Entries)
+	fmt.Printf("code cache:   %d hits / %d misses, %d evictions, %d units (%d funcs)\n",
+		cc.Hits, cc.Misses, cc.Evictions, cc.Units, cc.Funcs)
+	fmt.Printf("engine pool:  %d hits / %d misses, %d idle\n", ep.Hits, ep.Misses, ep.Idle)
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -488,6 +498,241 @@ func makeCurve(cfg harness.PerfConfig, samples []harness.WarmupSample) warmupCur
 		}
 	}
 	return c
+}
+
+// ---- the compile-once/run-many throughput protocol (-throughput) ----
+
+// throughputReport is the committed BENCH_PR10.json schema: cold-vs-warm
+// rows for the drivers that re-run the corpus (the detection matrix plain
+// and with the tier-1 compiler forced hot, the FailNth fault sweep) plus a
+// fixed-seed 500-program campaign, and a summary holding the warm-cache
+// speedup geomean against its target. "Cold" bypasses every process-wide
+// cache — pipeline module cache, executable-code cache, engine pool — so
+// each cell compiles from source and builds its engine from scratch, the
+// compile-every-time execution model. "Warm" runs with the caches primed by
+// one untimed pass, which is how every long-lived driver actually runs.
+type throughputReport struct {
+	Schema     string            `json:"schema"`
+	RecordedAt string            `json:"recorded_at"`
+	Workers    int               `json:"workers"`
+	Rows       []throughputRow   `json:"rows"`
+	Summary    throughputSummary `json:"summary"`
+}
+
+// throughputRow is one (driver, mode) measurement. Units are matrix/sweep
+// cells or campaign programs; the cell-latency percentiles come from a
+// separate single-worker pass whose inter-cell deltas are exact per-cell
+// durations (omitted for the campaign, whose per-seed latency is already
+// its throughput's reciprocal).
+type throughputRow struct {
+	Driver      string  `json:"driver"`
+	Mode        string  `json:"mode"` // "cold" or "warm"
+	Units       int     `json:"units"`
+	WallClockMs float64 `json:"wall_clock_ms"`
+	UnitsPerSec float64 `json:"units_per_sec"`
+	P50CellMs   float64 `json:"p50_cell_ms,omitempty"`
+	P99CellMs   float64 `json:"p99_cell_ms,omitempty"`
+}
+
+type throughputSummary struct {
+	TargetWarmSpeedup          float64 `json:"target_warm_speedup"`
+	MatrixGeomeanWarmSpeedup   float64 `json:"matrix_geomean_warm_speedup"`
+	MetTarget                  bool    `json:"met_target"`
+	CampaignProgramsPerSecCold float64 `json:"campaign_programs_per_sec_cold"`
+	CampaignProgramsPerSecWarm float64 `json:"campaign_programs_per_sec_warm"`
+}
+
+// throughputCampaignSeed fixes the recorded campaign so cold and warm judge
+// the identical 500 programs.
+const throughputCampaignSeed = 0x10C0DE
+
+// resetProcessCaches empties the pipeline module cache, the executable-code
+// cache, and the engine pool: the next run pays full front-end, back-end,
+// and engine-construction cost.
+func resetProcessCaches() {
+	sulong.ResetCache()
+	sulong.ResetCodeCache()
+}
+
+// driverRun executes one driver pass: cold is the fully cold-compile
+// baseline (module cache, code cache, and engine pool all bypassed — every
+// cell compiles from source and builds its engine from scratch), w is the
+// worker count, and lat (when non-nil) collects per-cell durations —
+// callers pass it only with w == 1, where inter-progress deltas are exact.
+// Returns the number of units completed.
+type driverRun func(cold bool, w int, lat *[]time.Duration) int
+
+func latProgress(lat *[]time.Duration) func(done, total int) {
+	last := time.Now()
+	return func(done, total int) {
+		now := time.Now()
+		*lat = append(*lat, now.Sub(last))
+		last = now
+	}
+}
+
+func percentileMs(lat []time.Duration, pct int) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * pct / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return ms(sorted[idx])
+}
+
+// measureDriver produces the cold and warm rows for one driver. The timed
+// parallel pass gives throughput; an additional single-worker pass (same
+// cache state) gives the latency percentiles.
+func measureDriver(name string, workers int, withLat bool, run driverRun) (cold, warm throughputRow) {
+	row := func(mode string, units int, d time.Duration, lat []time.Duration) throughputRow {
+		r := throughputRow{
+			Driver: name, Mode: mode, Units: units, WallClockMs: ms(d),
+			UnitsPerSec: float64(units) / d.Seconds(),
+		}
+		if withLat {
+			r.P50CellMs = percentileMs(lat, 50)
+			r.P99CellMs = percentileMs(lat, 99)
+		}
+		return r
+	}
+
+	fmt.Printf("  %s: cold...", name)
+	resetProcessCaches()
+	t0 := time.Now()
+	units := run(true, workers, nil)
+	coldDur := time.Since(t0)
+	var coldLat []time.Duration
+	if withLat {
+		resetProcessCaches()
+		run(true, 1, &coldLat)
+	}
+	cold = row("cold", units, coldDur, coldLat)
+
+	fmt.Printf(" warm...")
+	resetProcessCaches()
+	run(false, workers, nil) // untimed priming pass fills every cache
+	t0 = time.Now()
+	units = run(false, workers, nil)
+	warmDur := time.Since(t0)
+	var warmLat []time.Duration
+	if withLat {
+		run(false, 1, &warmLat)
+	}
+	warm = row("warm", units, warmDur, warmLat)
+	fmt.Printf(" %.2fx (%v -> %v)\n", float64(coldDur)/float64(warmDur),
+		coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond))
+	return cold, warm
+}
+
+// recordThroughput runs the full cold-vs-warm protocol and writes
+// BENCH_PR10.json. Exit status 1 when the warm-cache matrix speedup misses
+// its 3x target.
+func recordThroughput(path string) {
+	workers := runtime.GOMAXPROCS(0)
+	rep := throughputReport{
+		Schema:     "sulong-bench/pr10",
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Workers:    workers,
+	}
+	fmt.Println("Recording compile-once/run-many throughput baseline...")
+
+	matrixRun := func(jit bool) driverRun {
+		return func(cold bool, w int, lat *[]time.Duration) int {
+			opts := harness.MatrixOptions{Workers: w, NoCodeCache: cold, NoCache: cold}
+			if jit {
+				opts.JIT = true
+				opts.JITThreshold = 1
+			}
+			if lat != nil {
+				opts.Progress = latProgress(lat)
+			}
+			m := harness.RunDetectionMatrixWith(opts)
+			return len(m.Cases) * len(harness.Tools())
+		}
+	}
+	sweepRun := func(cold bool, w int, lat *[]time.Duration) int {
+		opts := harness.SweepOptions{Workers: w, MaxNth: 2, NoCodeCache: cold, NoCache: cold}
+		if lat != nil {
+			opts.Progress = latProgress(lat)
+		}
+		return harness.FaultSweep(opts).Runs
+	}
+	campaignRun := func(cold bool, w int, lat *[]time.Duration) int {
+		res, err := campaign.Run(campaign.Options{
+			Seed: throughputCampaignSeed, Programs: 500, Workers: w,
+			MinimizeBudget: -1, NoCodeCache: cold, NoCache: cold,
+		})
+		check(err)
+		return res.Judged
+	}
+
+	var speedups []float64
+	for _, d := range []struct {
+		name    string
+		withLat bool
+		run     driverRun
+	}{
+		{"matrix", true, matrixRun(false)},
+		{"matrix-jit", true, matrixRun(true)},
+		{"faultsweep", true, sweepRun},
+	} {
+		cold, warm := measureDriver(d.name, workers, d.withLat, d.run)
+		rep.Rows = append(rep.Rows, cold, warm)
+		speedups = append(speedups, warm.UnitsPerSec/cold.UnitsPerSec)
+	}
+	// The campaign is measured single-pass per mode: its reuse wins come
+	// from the per-program oracle runs (tier triples, fault schedules)
+	// sharing one compiled artifact, not from re-running the whole campaign.
+	fmt.Printf("  campaign-500: cold...")
+	resetProcessCaches()
+	t0 := time.Now()
+	units := campaignRun(true, workers, nil)
+	coldDur := time.Since(t0)
+	coldRow := throughputRow{
+		Driver: "campaign-500", Mode: "cold", Units: units,
+		WallClockMs: ms(coldDur), UnitsPerSec: float64(units) / coldDur.Seconds(),
+	}
+	fmt.Printf(" warm...")
+	resetProcessCaches()
+	t0 = time.Now()
+	units = campaignRun(false, workers, nil)
+	warmDur := time.Since(t0)
+	warmRow := throughputRow{
+		Driver: "campaign-500", Mode: "warm", Units: units,
+		WallClockMs: ms(warmDur), UnitsPerSec: float64(units) / warmDur.Seconds(),
+	}
+	fmt.Printf(" %.2fx (%v -> %v)\n", float64(coldDur)/float64(warmDur),
+		coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond))
+	rep.Rows = append(rep.Rows, coldRow, warmRow)
+
+	logSum := 0.0
+	for _, s := range speedups {
+		logSum += math.Log(s)
+	}
+	geomean := math.Exp(logSum / float64(len(speedups)))
+	rep.Summary = throughputSummary{
+		TargetWarmSpeedup:          3.0,
+		MatrixGeomeanWarmSpeedup:   geomean,
+		MetTarget:                  geomean >= 3.0,
+		CampaignProgramsPerSecCold: coldRow.UnitsPerSec,
+		CampaignProgramsPerSecWarm: warmRow.UnitsPerSec,
+	}
+
+	fmt.Printf("\nwarm-cache matrix speedup: geomean %.2fx (target 3x: %v)\n", geomean, rep.Summary.MetTarget)
+	fmt.Printf("campaign: %.1f programs/sec cold -> %.1f warm\n",
+		coldRow.UnitsPerSec, warmRow.UnitsPerSec)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	check(os.WriteFile(path, append(data, '\n'), 0o644))
+	fmt.Printf("throughput baseline recorded to %s\n", path)
+	if !rep.Summary.MetTarget {
+		fmt.Fprintln(os.Stderr, "perfbench: warm-cache throughput target not met")
+		os.Exit(1)
+	}
 }
 
 // curveTimeToPeak looks up a configuration's recorded warm-up time by name.

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/gen"
+	"repro/internal/harness"
 )
 
 // Finding kinds, ordered by the oracle that produces them. The first four
@@ -83,8 +84,19 @@ type Options struct {
 	// MinimizeBudget caps the oracle re-runs the per-finding minimizer may
 	// spend (0 selects the default of 300; negative disables minimization).
 	MinimizeBudget int
-	// Progress, when non-nil, is called after each seed is durably recorded
-	// (the same shape harness.SweepOptions.Progress uses). done counts
+	// NoCodeCache opts every judged run out of the process-wide
+	// executable-code cache and engine reuse pool (cold-baseline
+	// benchmarking; see sulong.Config.NoCodeCache). Not part of the journal
+	// identity: warm and cold runs produce byte-identical records.
+	NoCodeCache bool
+	// NoCache additionally bypasses the pipeline module cache, so every
+	// judged program compiles from source — the fully cold baseline. Like
+	// NoCodeCache, it never changes the journal.
+	NoCache bool
+	// Progress, when non-nil, is called after each seed is recorded in
+	// index order (the same shape harness.SweepOptions.Progress uses).
+	// Journal writes are group-committed, so a reported record is durable
+	// at the next batch boundary, cancellation, or close. done counts
 	// resumed seeds too, so a resumed campaign's bar starts where the
 	// interrupted one stopped.
 	Progress func(done, total int)
@@ -263,16 +275,35 @@ func Run(opts Options) (*Result, error) {
 	for i := 0; i < opts.Workers; i++ {
 		spawn()
 	}
+	// The feeder hands out indices in windows, each window reordered
+	// longest-first by the shared duration model (keyed by generator name —
+	// the only cost signal knowable before generating). The reorder buffer
+	// restores strict index order for the journal, so the schedule changes
+	// only which worker runs what when, never any output byte. Serial
+	// campaigns keep the historical sequential feed.
 	go func() {
 		defer close(todo)
-		for i := start; i < opts.Programs; i++ {
-			if ctx.Err() != nil {
-				return
+		window := 4 * opts.Workers
+		for lo := start; lo < opts.Programs; lo += window {
+			hi := lo + window
+			if hi > opts.Programs {
+				hi = opts.Programs
 			}
-			select {
-			case todo <- i:
-			case <-ctx.Done():
-				return
+			order := identityOrder(hi - lo)
+			if opts.Workers > 1 {
+				order = harness.CostOrder(hi-lo, func(k int) string {
+					return "campaign|" + c.genNameAt(lo+k)
+				})
+			}
+			for _, k := range order {
+				if ctx.Err() != nil {
+					return
+				}
+				select {
+				case todo <- lo + k:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
 	}()
@@ -335,7 +366,25 @@ func Run(opts Options) (*Result, error) {
 			live--
 		}
 	}
+	// Group-commit the pending batch before returning — cancellation and
+	// exhaustion both land here, so every record the result reports is
+	// durable when Run returns (Close would flush too, but its deferred
+	// error is unobservable).
+	if j != nil {
+		if err := j.Flush(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("campaign: journal flush: %w", err)
+		}
+	}
 	return res, runErr
+}
+
+// identityOrder is the 0..n-1 permutation (the untrained/serial feed order).
+func identityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // apply folds one in-order record into the result. replayed marks records
@@ -412,22 +461,36 @@ func (c *campaign) worker(todo <-chan int, recs chan<- seedRecord, deaths chan<-
 	}
 }
 
-// runOne generates (or mutates) program idx and judges it.
-func (c *campaign) runOne(idx int, seed uint64) seedRecord {
-	var info gen.Info
-	genName := "gen"
+// genNameAt names program idx's generator without generating it: mutants
+// are selected by index and corpus slot alone. The feeder uses this as the
+// scheduling key — the only cost signal available before a seed runs.
+func (c *campaign) genNameAt(idx int) string {
 	if c.opts.MutateEvery > 0 && (idx+1)%c.opts.MutateEvery == 0 {
 		cases := corpus.All()
-		base := cases[int(seed%uint64(len(cases)))]
-		info = gen.Mutate(base.Source, seed)
-		genName = "mut:" + base.Name
+		seed := gen.SeedAt(c.opts.Seed, idx)
+		return "mut:" + cases[int(seed%uint64(len(cases)))].Name
+	}
+	return "gen"
+}
+
+// runOne generates (or mutates) program idx and judges it, feeding the
+// judgment duration back into the shared scheduling model.
+func (c *campaign) runOne(idx int, seed uint64) seedRecord {
+	var info gen.Info
+	genName := c.genNameAt(idx)
+	if strings.HasPrefix(genName, "mut:") {
+		cases := corpus.All()
+		info = gen.Mutate(cases[int(seed%uint64(len(cases)))].Source, seed)
 	} else {
 		info = gen.Generate(seed)
 	}
 	if c.opts.hookJudge != nil {
 		return c.opts.hookJudge(idx, seed, info)
 	}
-	return c.judge(idx, seed, info, genName)
+	start := time.Now()
+	rec := c.judge(idx, seed, info, genName)
+	harness.ObserveCost("campaign|"+genName, time.Since(start))
+	return rec
 }
 
 func firstLine(s string) string {

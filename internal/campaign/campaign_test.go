@@ -124,7 +124,12 @@ func TestCampaignResumeDeterminism(t *testing.T) {
 }
 
 // TestCampaignKillResume: a real kill -9 of a campaign subprocess, resumed
-// in this process, lands on the byte-identical journal.
+// in this process, lands on the byte-identical journal. With group commit
+// the kill necessarily lands mid-batch: the helper has judged seeds beyond
+// the last flushed batch that exist only in its memory, and the journal on
+// disk ends at a batch boundary. The test asserts that quantum, then tears
+// the flushed tail mid-line — emulating a kill during the batch write
+// itself — and still requires the resume to rebuild the exact journal.
 func TestCampaignKillResume(t *testing.T) {
 	wantBytes, wantRes := reference(t)
 
@@ -136,6 +141,8 @@ func TestCampaignKillResume(t *testing.T) {
 	}
 	// Kill once the journal shows real progress but long before completion
 	// (the helper runs single-worker, ~8x slower than the reference run).
+	// The first group commit lands journalBatch+1 lines at once, so by the
+	// time this poll fires the helper is buffering the next batch.
 	deadline := time.Now().Add(2 * time.Minute)
 	for {
 		if time.Now().After(deadline) {
@@ -152,6 +159,26 @@ func TestCampaignKillResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = cmd.Wait()
+
+	// The durable journal must end at a group-commit boundary, short of the
+	// full campaign: the records the helper judged past that boundary died
+	// with it and must be re-derived by the resume.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := strings.Count(string(data), "\n") - 1 // minus meta line
+	if durable <= 0 || durable >= refOpts().Programs {
+		t.Fatalf("kill did not land mid-campaign: %d durable records", durable)
+	}
+	if durable%journalBatch != 0 {
+		t.Fatalf("durable journal ends off a batch boundary: %d records (batch %d)", durable, journalBatch)
+	}
+	// Tear the flushed tail mid-line: a kill can also land inside the batch
+	// write, leaving a prefix of the batch plus a torn line.
+	if err := os.Truncate(path, int64(len(data)-7)); err != nil {
+		t.Fatal(err)
+	}
 
 	resumed := refOpts()
 	resumed.Journal = path

@@ -1,12 +1,16 @@
 package campaign
 
 // The journal is the campaign's crash-resilience substrate: an append-only
-// JSONL file, one fsynced line per judged seed, written strictly in index
-// order. Because every record is a pure function of (campaign seed, index)
+// JSONL file written strictly in index order and made durable by group
+// commit — records accumulate in memory and reach stable storage as one
+// write+fsync per batch (every journalBatch records, on Flush, and on
+// Close). Because every record is a pure function of (campaign seed, index)
 // and the write order is canonical, the journal of an interrupted-and-
 // resumed campaign is byte-identical to the journal of one that never
 // stopped — the resume test asserts exactly that, including after a kill -9
-// that tears the final line.
+// that lands mid-batch: whatever prefix of the batch hit the disk survives
+// (a torn final line is truncated), and the lost suffix is re-judged
+// identically on resume.
 
 import (
 	"bufio"
@@ -58,11 +62,20 @@ type seedRecord struct {
 	R     string `json:"r,omitempty"`     // quarantine/reject reason
 }
 
+// journalBatch is the group-commit size: one write+fsync per this many
+// records instead of one per record. The durability unit shrinks to a
+// batch, but the correctness unit stays one line — a kill -9 mid-batch
+// loses at most the unflushed suffix, which resume re-judges identically.
+const journalBatch = 16
+
 // journal is the open append handle. Writes go through appendRecord, which
-// fsyncs per line: a record either made it to stable storage in full or the
-// resume path truncates its torn remnant.
+// buffers marshaled lines and group-commits them: a record either made it
+// to stable storage in full or the resume path truncates its torn remnant
+// and re-derives it.
 type journal struct {
-	f *os.File
+	f       *os.File
+	buf     []byte
+	pending int
 }
 
 // createJournal starts a fresh journal with the meta header. Refuses to
@@ -156,18 +169,40 @@ func loadJournal(path string, want metaRecord) (*journal, []seedRecord, error) {
 	return &journal{f: f}, recs, nil
 }
 
-// appendRecord durably appends one seed record.
+// appendRecord appends one seed record to the group-commit buffer and
+// flushes when the batch fills. The record is durable only after the next
+// Flush (batch boundary, cancellation, or Close).
 func (j *journal) appendRecord(rec seedRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	return j.appendLine(line)
+	j.buf = append(j.buf, line...)
+	j.buf = append(j.buf, '\n')
+	j.pending++
+	if j.pending >= journalBatch {
+		return j.Flush()
+	}
+	return nil
 }
 
-// appendLine writes line + '\n' and fsyncs. The sync per record is the
-// checkpoint guarantee: after appendRecord returns, a kill -9 cannot lose
-// the record, only tear a later one.
+// Flush group-commits every buffered record: one write, one fsync. After
+// Flush returns nil, a kill -9 cannot lose the flushed records, only tear
+// a later batch.
+func (j *journal) Flush() error {
+	if j == nil || j.f == nil || j.pending == 0 {
+		return nil
+	}
+	if _, err := j.f.Write(j.buf); err != nil {
+		return err
+	}
+	j.buf = j.buf[:0]
+	j.pending = 0
+	return j.f.Sync()
+}
+
+// appendLine writes line + '\n' and fsyncs immediately — used for the meta
+// header, which must be durable before any seed record can be.
 func (j *journal) appendLine(line []byte) error {
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return err
@@ -175,9 +210,16 @@ func (j *journal) appendLine(line []byte) error {
 	return j.f.Sync()
 }
 
+// Close flushes the pending batch and closes the file. The flush error
+// wins: an unsyncable tail matters more than a failed close.
 func (j *journal) Close() error {
 	if j == nil || j.f == nil {
 		return nil
 	}
-	return j.f.Close()
+	ferr := j.Flush()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }

@@ -38,7 +38,14 @@ func TestJournalTornTailTruncated(t *testing.T) {
 		t.Fatalf("recs = %+v, want the 2 complete records", recs)
 	}
 	// The torn bytes are gone from disk and appends continue cleanly.
+	// Appends are group-committed, so the record reaches disk on Flush.
 	if err := j.appendRecord(seedRecord{T: "seed", I: 2, S: 13, C: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); strings.Count(string(data), "\n") != 3 {
+		t.Fatalf("buffered record reached disk before Flush:\n%s", data)
+	}
+	if err := j.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(path)

@@ -43,6 +43,8 @@ func (c *campaign) baseBudget() harness.CaseBudget {
 		Timeout:      c.opts.Timeout,
 		MaxHeapBytes: 64 << 20,
 		Ctx:          c.opts.Ctx,
+		NoCodeCache:  c.opts.NoCodeCache,
+		NoCache:      c.opts.NoCache,
 	}
 }
 
@@ -71,16 +73,40 @@ func (c *campaign) judge(idx int, seed uint64, info gen.Info, genName string) se
 	src := info.Source
 	tiers := c.tierBudgets()
 
+	// One compiled artifact serves every managed oracle below: the three
+	// tier-parity runs and the 2×MaxNth fault-parity runs all share
+	// SafeSulong's pipeline flavor, so the front end runs once per program
+	// instead of once per oracle run. Compile-stage failures classify
+	// exactly as they did when tier-0's run compiled first.
+	mod, bad := harness.CompileOutcome(src, harness.SafeSulong, tiers[0].b)
+	if bad != nil {
+		switch bad.Class {
+		case "compile-error":
+			// The front end refuses the program identically in every tier.
+			// Grammar debt, not a finding.
+			rec.C, rec.R = "reject", bad.Report
+			return rec
+		case "panic":
+			return c.finish(rec, KindEnginePanic, "tier-0: "+bad.Report, src, func(s string) bool {
+				return harness.RunSource(s, harness.SafeSulong, c.baseBudget()).Class == "panic"
+			})
+		default: // "error" and anything else non-deterministic
+			rec.C, rec.R = "quarantine", "tier-0: "+bad.Report
+			return rec
+		}
+	}
+	// Compile once, run many, then release: after the verdict below, this
+	// generated program never runs again, so retire its artifacts from the
+	// process-wide caches instead of letting dead modules ride the LRU and
+	// engine pool. Deferred so every early return (quarantine, divergence,
+	// finding) releases too, after any minimization has finished.
+	defer harness.ReleaseModule(mod)
+
 	// Oracle 1: tier parity.
 	outs := make([]harness.Outcome, len(tiers))
 	for i, t := range tiers {
-		o := harness.RunSource(src, harness.SafeSulong, t.b)
+		o := harness.RunModule(mod, harness.SafeSulong, t.b)
 		switch o.Class {
-		case "compile-error":
-			// The front end refuses the program identically in every tier;
-			// only tier-0 can reach here. Grammar debt, not a finding.
-			rec.C, rec.R = "reject", o.Report
-			return rec
 		case "deadline", "error":
 			rec.C, rec.R = "quarantine", t.name+": "+o.Report
 			return rec
@@ -110,8 +136,8 @@ func (c *campaign) judge(idx int, seed uint64, info gen.Info, genName string) se
 			plan := fault.Plan{FailNth: nth}
 			f0b, f1b := tiers[0].b, tiers[1].b
 			f0b.FaultPlan, f1b.FaultPlan = plan, plan
-			f0 := harness.RunSource(src, harness.SafeSulong, f0b)
-			f1 := harness.RunSource(src, harness.SafeSulong, f1b)
+			f0 := harness.RunModule(mod, harness.SafeSulong, f0b)
+			f1 := harness.RunModule(mod, harness.SafeSulong, f1b)
 			for _, p := range []struct {
 				name string
 				o    harness.Outcome
@@ -158,11 +184,18 @@ func (c *campaign) judge(idx int, seed uint64, info gen.Info, genName string) se
 
 // blind reports whether every simulated native tool misses the program's
 // bug without even crashing. Timeouts and errors count as "not blind" —
-// the oracle only claims a blind spot it can fully demonstrate.
+// the oracle only claims a blind spot it can fully demonstrate. The three
+// -O0 native tools share one compiled artifact (same pipeline flavor and
+// opt level); a compile failure counts as "not blind".
 func (c *campaign) blind(src string) bool {
 	b := c.baseBudget()
+	mod, bad := harness.CompileOutcome(src, harness.ASanO0, b)
+	if bad != nil {
+		return false
+	}
+	defer harness.ReleaseModule(mod)
 	for _, tool := range []harness.Tool{harness.ASanO0, harness.ValgrindO0, harness.NativeO0} {
-		o := harness.RunSource(src, tool, b)
+		o := harness.RunModule(mod, tool, b)
 		if o.Class != "clean" {
 			return false
 		}

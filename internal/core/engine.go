@@ -160,12 +160,20 @@ type Stats struct {
 
 // Engine is the managed execution engine (Safe Sulong).
 type Engine struct {
-	mod      *ir.Module
-	cfg      Config
-	globals  map[string]*Object
-	builtins []Builtin // indexed by function index; nil for IR-defined funcs
-	compiled []CompiledFunc
-	counts   []int64
+	mod     *ir.Module
+	cfg     Config
+	globals map[string]*Object
+	// globalList indexes the global objects by module global index, so
+	// tier-1 closures can bake the (module-pure) index and resolve the
+	// object through whichever engine executes them.
+	globalList []*Object
+	builtins   []Builtin // indexed by function index; nil for IR-defined funcs
+	compiled   []CompiledFunc
+	counts     []int64
+	// sites is the dense per-engine call-site state table behind shared
+	// tier-1 closures: argument buffers and inline caches, addressed by the
+	// site IDs the compiler assigned at lowering time (see Site).
+	sites []CallSite
 
 	stdout *bufio.Writer
 	stdin  *bufio.Reader
@@ -282,6 +290,136 @@ func NewEngine(mod *ir.Module, cfg Config) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// Reset returns a finished engine to its just-constructed state for a new
+// run of the same module under a fresh configuration, reusing the expensive
+// immutable scaffolding a cold NewEngine would rebuild: the bound builtin
+// table, the global objects (re-zeroed and re-initialized in module order,
+// keeping their IDs 1..N so the next runtime ID — and therefore every later
+// Pointer.OrderKey — matches a cold start exactly), the frame free-list,
+// and the memoized type descriptors (pure functions of C type spellings,
+// which consume no IDs). Everything observable is per-run and is rebuilt
+// exactly as NewEngine would build it: step/depth ledgers, stats, the fault
+// injector (the global charge sequence is replayed against the new budget,
+// so FailNth schedules land on the same allocations), tier-1 dispatch
+// tables and call counts (so tier-up events, OnCompile callbacks, OSR and
+// deopt behavior replay a cold run even when the compiles themselves are
+// code-cache hits), the speculation blacklist, per-site inline-cache and
+// argument-buffer state, the lazily-interned type-name and environment
+// objects (they consume runtime IDs, so they must be re-created in the same
+// order), the diagnostic call stack, and the stdio plumbing. A reset engine
+// is observationally indistinguishable from a new one — the warm-vs-cold
+// parity suite pins that byte-for-byte.
+//
+// On error (a global layout exceeding cfg's budget, exactly as NewEngine
+// would fail) the engine is left half-reset and must be discarded.
+func (e *Engine) Reset(cfg Config) error {
+	// Stop any background compile pool from the previous run, then re-arm
+	// the close latch for this one.
+	e.Close()
+	e.closeOnce = sync.Once{}
+
+	e.cfg = cfg
+	e.gov = cfg.Governor
+	e.maxSteps = cfg.MaxSteps
+	if e.maxSteps == 0 {
+		e.maxSteps = 2_000_000_000
+	}
+	e.maxDepth = cfg.MaxCallDepth
+	if e.maxDepth == 0 {
+		e.maxDepth = 4096
+	}
+	if cfg.Tier1Threshold == 0 {
+		e.cfg.Tier1Threshold = 50
+	}
+	e.sink.Reset()
+	out := cfg.Stdout
+	if out == nil {
+		out = &e.sink
+	}
+	e.stdout = bufio.NewWriter(out)
+	in := cfg.Stdin
+	if in == nil {
+		in = strings.NewReader("")
+	}
+	e.stdin = bufio.NewReader(in)
+
+	e.steps, e.depth = 0, 0
+	e.stats = Stats{}
+	e.callStack = diag.Stack{}
+	for i := range e.compiled {
+		e.compiled[i] = nil
+	}
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for i := range e.heap {
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:0]
+	e.envObjs = nil
+	e.typeObjs = nil
+	for i := range e.sites {
+		e.sites[i] = CallSite{}
+	}
+	e.sites = e.sites[:0]
+	e.queued = nil
+	e.osrComp, e.osrOn = nil, false
+	e.osrEntries, e.osrCounts = nil, nil
+	e.specMu.Lock()
+	e.specBad = nil
+	e.specMu.Unlock()
+
+	mab := cfg.MaxAllocBytes
+	if mab == 0 {
+		mab = maxHeapAlloc
+	}
+	e.mem = fault.NewInjector(cfg.FaultPlan, fault.Budget{
+		MaxHeapBytes:  cfg.MaxHeapBytes,
+		MaxAllocBytes: mab,
+	})
+
+	// Replay the cold-start global layout: same charge order, same IDs,
+	// same initializer stores. Globals hold IDs 1..N, so the next runtime
+	// ID picks up where a cold initGlobals would have left it. A module
+	// mutated since construction (legal for caller-owned NoCache modules)
+	// fails the shape check and the caller falls back to a cold engine.
+	if len(e.globalList) != len(e.mod.Globals) {
+		return fmt.Errorf("core: reset: module global count changed")
+	}
+	e.nextID = int64(len(e.mod.Globals))
+	for i, g := range e.mod.Globals {
+		obj := e.globalList[i]
+		if obj.Name != g.Name || obj.size != g.Ty.Size() {
+			return fmt.Errorf("core: reset: module global %s changed shape", g.Name)
+		}
+		if e.mem.ChargeFixed(g.Ty.Size()) == fault.Exhausted {
+			return &ResourceError{Resource: "global", Requested: g.Ty.Size(), Limit: e.mem.Limit()}
+		}
+		obj.resetStatic()
+	}
+	for _, g := range e.mod.Globals {
+		if g.Init == nil {
+			continue
+		}
+		if err := e.fillConst(e.globals[g.Name], 0, g.Init, g.Ty); err != nil {
+			return fmt.Errorf("core: initializing global %s: %w", g.Name, err)
+		}
+	}
+
+	if cfg.Tier1 != nil {
+		if oc, ok := cfg.Tier1.(OSRCompiler); ok && cfg.OSRThreshold > 0 {
+			e.osrComp = oc
+			e.osrOn = true
+			e.osrEntries = make(map[int64]CompiledFunc)
+			e.osrCounts = make(map[int64]int64)
+		}
+		if cfg.AsyncJIT {
+			e.startPool()
+		}
+	}
+	return nil
 }
 
 // Module returns the module being executed.
@@ -405,6 +543,7 @@ func (e *Engine) bindBuiltins() error {
 // initGlobals materializes module globals as managed static objects.
 func (e *Engine) initGlobals() error {
 	e.globals = make(map[string]*Object, len(e.mod.Globals))
+	e.globalList = make([]*Object, 0, len(e.mod.Globals))
 	for _, g := range e.mod.Globals {
 		// Globals are charged against the run budget and never released.
 		// C cannot express a failed global, so exhaustion is hard (oom).
@@ -420,6 +559,7 @@ func (e *Engine) initGlobals() error {
 			}
 		}
 		e.globals[g.Name] = obj
+		e.globalList = append(e.globalList, obj)
 	}
 	// Second pass fills initializers (they may reference other globals).
 	for _, g := range e.mod.Globals {
@@ -500,6 +640,57 @@ func (e *Engine) fillConst(obj *Object, off int64, c ir.Const, ty ir.Type) error
 // Global returns the managed object backing a named global (tests and the
 // harness use this to inspect state).
 func (e *Engine) Global(name string) *Object { return e.globals[name] }
+
+// GlobalAt returns the managed object backing the i'th module global. The
+// tier-1 compiler bakes the index (a module-pure fact) into its closures
+// and resolves the object through the executing engine at run time, so
+// shared compiled code never captures one engine's global layout.
+func (e *Engine) GlobalAt(i int) *Object { return e.globalList[i] }
+
+// ICEntry is one inline-cache way for an indirect tier-1 call site: the
+// observed function-pointer key (Pointer.Fn, never 0) and its validated
+// module function index.
+type ICEntry struct {
+	Key int
+	Idx int
+}
+
+// CallSite is the per-engine mutable state behind one tier-1 call site: the
+// persistent argument buffer for direct calls and the polymorphic inline
+// cache for indirect ones. Compiled closures are immutable and shared
+// across engines (the executable-code cache); every per-run mutation lands
+// here instead, addressed by the dense site ID the compiler assigned at
+// lowering time. Inline-cache state therefore starts empty on every run,
+// exactly as it did when closures were compiled per engine.
+type CallSite struct {
+	Args []Value
+	IC   []ICEntry
+	Mega bool
+}
+
+// Site returns the engine's state cell for call site id, growing the dense
+// site table on demand. The engine is single-threaded, so growth between
+// guest instructions is safe; closures must not retain the returned pointer
+// across a call that can execute guest code (take the Args slice instead —
+// its backing array survives table growth).
+func (e *Engine) Site(id int) *CallSite {
+	if id >= len(e.sites) {
+		ns := make([]CallSite, id+1, 2*(id+1))
+		copy(ns, e.sites)
+		e.sites = ns
+	}
+	return &e.sites[id]
+}
+
+// ArgBuf returns the site's persistent argument buffer, sized to n. The
+// engine copies arguments into the callee frame before any guest code runs,
+// so one buffer per site is safe even under recursion through the site.
+func (s *CallSite) ArgBuf(n int) []Value {
+	if cap(s.Args) < n {
+		s.Args = make([]Value, n)
+	}
+	return s.Args[:n]
+}
 
 // Run executes main() with the configured arguments and returns the exit
 // code. Detected bugs come back as *BugError; normal termination (including

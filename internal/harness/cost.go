@@ -1,0 +1,105 @@
+// Cost-aware scheduling for the matrix/sweep drivers.
+//
+// The drivers' work items have wildly uneven costs (a three-line NULL deref
+// vs a benchmark loop under Valgrind simulation), and a longest-job-last
+// schedule leaves the pool idling on one straggler at the end. Each
+// (case, tool) pair's observed duration feeds a process-wide EMA; later
+// runs claim work longest-first. Only the *claim order* changes — results
+// stay index-addressed in pre-sized grids, so rendered output is
+// byte-identical at any worker count, with or without a trained model.
+package harness
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// costAlpha is the EMA smoothing factor: recent observations dominate, but
+// one anomalous cell (a GC pause mid-run) cannot wreck the schedule.
+const costAlpha = 0.3
+
+// costModel is a process-wide duration estimator keyed by free-form strings
+// (the drivers use "case|tool"). Safe for concurrent use.
+type costModel struct {
+	mu  sync.Mutex
+	ema map[string]float64
+}
+
+var costs = &costModel{ema: make(map[string]float64)}
+
+func (m *costModel) observe(key string, d time.Duration) {
+	m.mu.Lock()
+	if prev, ok := m.ema[key]; ok {
+		m.ema[key] = (1-costAlpha)*prev + costAlpha*float64(d)
+	} else {
+		m.ema[key] = float64(d)
+	}
+	m.mu.Unlock()
+}
+
+// order returns a permutation of [0, n) scheduling the estimated-longest
+// items first. Items without an estimate sort before everything (a job of
+// unknown size is scheduled pessimistically early); ties and the untrained
+// cold start fall back to index order, so the permutation is deterministic
+// for a given model state.
+func (m *costModel) order(n int, key func(i int) string) []int {
+	type item struct {
+		idx     int
+		cost    float64
+		unknown bool
+	}
+	items := make([]item, n)
+	m.mu.Lock()
+	for i := 0; i < n; i++ {
+		c, ok := m.ema[key(i)]
+		items[i] = item{idx: i, cost: c, unknown: !ok}
+	}
+	m.mu.Unlock()
+	sort.SliceStable(items, func(a, b int) bool {
+		ia, ib := items[a], items[b]
+		if ia.unknown != ib.unknown {
+			return ia.unknown
+		}
+		if ia.cost != ib.cost {
+			return ia.cost > ib.cost
+		}
+		return ia.idx < ib.idx
+	})
+	out := make([]int, n)
+	for k, it := range items {
+		out[k] = it.idx
+	}
+	return out
+}
+
+// ForEachOrdered is ForEach with an explicit claim order: workers pop items
+// in order[k] sequence instead of 0..n-1. The serial path (workers == 1 or
+// n < 2) ignores the permutation and keeps the historical 0..n-1 loop, so
+// single-worker side-effect ordering guarantees are unchanged. A nil order
+// is identity. Result placement stays the caller's responsibility — fn
+// still receives the item index, so index-addressed grids assemble
+// identically however the work was scheduled.
+func ForEachOrdered(n, workers int, order []int, fn func(i int)) {
+	if order == nil || workers == 1 || n < 2 {
+		ForEach(n, workers, fn)
+		return
+	}
+	ForEach(n, workers, func(k int) { fn(order[k]) })
+}
+
+// ObserveCost feeds one observed work-item duration into the process-wide
+// scheduling model. Exported for sibling drivers (the fuzzing campaign)
+// that share the model across package boundaries.
+func ObserveCost(key string, d time.Duration) { costs.observe(key, d) }
+
+// CostOrder returns the longest-first claim permutation for n items keyed
+// by key(i). Deterministic for a given model state; see costModel.order.
+func CostOrder(n int, key func(i int) string) []int { return costs.order(n, key) }
+
+// timedCell runs fn and feeds the observed duration back into the model.
+func (m *costModel) timedCell(key string, fn func()) {
+	start := time.Now()
+	fn()
+	m.observe(key, time.Since(start))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/fault"
@@ -32,6 +33,12 @@ type SweepOptions struct {
 	// per-seed progress through the same signature, so both surfaces share
 	// one mechanism (and one renderer).
 	Progress func(done, total int)
+	// NoCodeCache opts every run out of the executable-code cache and
+	// engine pool (cold-baseline benchmarking).
+	NoCodeCache bool
+	// NoCache additionally bypasses the pipeline module cache — every run
+	// compiles from source, the fully cold-compile baseline.
+	NoCache bool
 }
 
 // SweepViolation is one assertion failure found by the sweep.
@@ -121,7 +128,13 @@ func FaultSweep(opts SweepOptions) *SweepResult {
 		progressMu.Unlock()
 	}
 
-	ForEach(total, opts.Workers, func(i int) {
+	// Longest-first claim order from the shared duration model. Every nth of
+	// one (case, tool) pair shares a key — injection changes where a run
+	// stops, not its scale — so matrix runs train the sweep's schedule too.
+	order := costs.order(total, func(i int) string {
+		return cases[i/(maxNth*nt)].Name + "|" + tools[i%(maxNth*nt)%nt].String()
+	})
+	ForEachOrdered(total, opts.Workers, order, func(i int) {
 		defer report()
 		c := cases[i/(maxNth*nt)]
 		rem := i % (maxNth * nt)
@@ -132,8 +145,12 @@ func FaultSweep(opts SweepOptions) *SweepResult {
 			MaxSteps:     opts.MaxSteps,
 			MaxHeapBytes: opts.MaxHeapBytes,
 			FaultPlan:    fault.Plan{FailNth: int64(nth)},
+			NoCodeCache:  opts.NoCodeCache,
+			NoCache:      opts.NoCache,
 		}
 		out := &grid[i]
+		start := time.Now()
+		defer func() { costs.observe(c.Name+"|"+tool.String(), time.Since(start)) }()
 		cell := RunCaseWith(c, tool, budget)
 		out.runs++
 		if cell.RunError != "" {

@@ -17,6 +17,7 @@ import (
 	sulong "repro"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/ir"
 )
 
 // Outcome is everything the campaign's oracles compare about one run of one
@@ -78,10 +79,23 @@ func (o Outcome) Detected() bool { return o.Class == "detected" }
 // compile-stage and engine panics are contained (class "panic" — for a
 // generated program that is the finding itself, not a retry candidate), and
 // any harness-side panic lands in class "error".
-func RunSource(src string, tool Tool, b CaseBudget) (o Outcome) {
+func RunSource(src string, tool Tool, b CaseBudget) Outcome {
+	mod, bad := CompileOutcome(src, tool, b)
+	if bad != nil {
+		return *bad
+	}
+	return RunModule(mod, tool, b)
+}
+
+// CompileOutcome runs just the compile stage of RunSource, returning the
+// module on success or the Outcome that ends the run on failure. Callers
+// that judge one program under several same-toolchain oracles (the
+// campaign's tier-parity and fault oracles all use SafeSulong's pipeline)
+// compile once and feed the module to RunModule per oracle.
+func CompileOutcome(src string, tool Tool, b CaseBudget) (m *ir.Module, bad *Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
-			o = Outcome{Class: "error", Report: fmt.Sprintf("internal harness error: panic: %v", r)}
+			m, bad = nil, &Outcome{Class: "error", Report: fmt.Sprintf("internal harness error: panic: %v", r)}
 		}
 	}()
 	cfg := b.config(corpus.Case{Name: "generated", Source: src}, tool)
@@ -89,10 +103,27 @@ func RunSource(src string, tool Tool, b CaseBudget) (o Outcome) {
 	if err != nil {
 		var ie *core.InternalError
 		if errors.As(err, &ie) {
-			return Outcome{Class: "panic", Report: firstLine(err.Error())}
+			return nil, &Outcome{Class: "panic", Report: firstLine(err.Error())}
 		}
-		return Outcome{Class: "compile-error", Report: firstLine(err.Error())}
+		return nil, &Outcome{Class: "compile-error", Report: firstLine(err.Error())}
 	}
+	return mod, nil
+}
+
+// ReleaseModule retires a CompileOutcome module from the process-wide reuse
+// layers once the caller's last run of it has finished. See
+// sulong.ReleaseModule.
+func ReleaseModule(mod *ir.Module) { sulong.ReleaseModule(mod) }
+
+// RunModule executes an already-compiled module under one tool within the
+// given budget (the execution half of RunSource).
+func RunModule(mod *ir.Module, tool Tool, b CaseBudget) (o Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = Outcome{Class: "error", Report: fmt.Sprintf("internal harness error: panic: %v", r)}
+		}
+	}()
+	cfg := b.config(corpus.Case{Name: "generated"}, tool)
 	res, err := sulong.RunModuleCtx(b.ctx(), mod, cfg)
 	o = Outcome{
 		Stdout:         res.Stdout,

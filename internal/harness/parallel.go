@@ -113,6 +113,14 @@ type MatrixOptions struct {
 	JITAsync     bool
 	OSR          bool
 	OSRThreshold int64
+	// NoCodeCache opts every cell out of the process-wide executable-code
+	// cache and engine reuse pool (cold-baseline benchmarking; see
+	// sulong.Config.NoCodeCache).
+	NoCodeCache bool
+	// NoCache additionally bypasses the pipeline module cache, making every
+	// cell compile its translation unit from scratch — the fully cold
+	// "compile every time" baseline (see sulong.Config.NoCache).
+	NoCache bool
 }
 
 // RunDetectionMatrixWith runs the corpus×tool evaluation matrix on a
@@ -147,13 +155,23 @@ func RunDetectionMatrixWith(opts MatrixOptions) *MatrixResult {
 		JITAsync:      opts.JITAsync,
 		OSR:           opts.OSR,
 		OSRThreshold:  opts.OSRThreshold,
+		NoCodeCache:   opts.NoCodeCache,
+		NoCache:       opts.NoCache,
 	}
 	var progressMu sync.Mutex
 	var done int
-	ForEach(total, opts.Workers, func(i int) {
+	// Longest-first claim order from the duration model (cold start: index
+	// order). Cells land by index, so the grid — and everything rendered
+	// from it — is byte-identical whatever order the workers claimed.
+	order := costs.order(total, func(i int) string {
+		return cases[i/nt].Name + "|" + tools[i%nt].String()
+	})
+	ForEachOrdered(total, opts.Workers, order, func(i int) {
 		c := cases[i/nt]
 		tool := tools[i%nt]
-		grid[i] = RunCaseWith(c, tool, budget)
+		costs.timedCell(c.Name+"|"+tool.String(), func() {
+			grid[i] = RunCaseWith(c, tool, budget)
+		})
 		if opts.Progress != nil {
 			progressMu.Lock()
 			done++

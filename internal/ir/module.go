@@ -121,6 +121,16 @@ type Module struct {
 	Funcs   []*Func
 	Structs map[string]*StructType
 
+	// ContentID, when non-empty, is a content address for the whole module,
+	// stamped by the compilation pipeline before publication: the full hash
+	// of the input file set plus the flavor and opt level that produced it.
+	// Consumers (the executable-code cache) may key on it instead of
+	// re-hashing the printed IR. It is a claim of immutability — never set
+	// it on a module that might still be mutated — and it is deliberately
+	// not printed, parsed, or cloned: a hand-built, parsed, or cloned module
+	// has no pipeline identity.
+	ContentID string
+
 	funcIdx   map[string]int
 	globalIdx map[string]int
 }
@@ -177,6 +187,17 @@ func (m *Module) Global(name string) *Global {
 // FuncIndex returns the index of the named function, or -1.
 func (m *Module) FuncIndex(name string) int {
 	if i, ok := m.funcIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GlobalIndex returns the index of the named global, or -1. The tier-1
+// compiler resolves global operands to indices at compile time and back to
+// per-engine objects at run time, so compiled code depends only on the
+// module — never on one engine's global layout.
+func (m *Module) GlobalIndex(name string) int {
+	if i, ok := m.globalIdx[name]; ok {
 		return i
 	}
 	return -1

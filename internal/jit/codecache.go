@@ -1,0 +1,311 @@
+// The process-wide executable-code cache: compile once, run many.
+//
+// Every driver in this repository re-runs the same module under many
+// configurations — the detection matrix, the FailNth sweep, tier-parity
+// triples, perfbench sample loops, fuzzing-campaign oracles — and until now
+// each run re-lowered the identical IR from scratch. The content-addressed
+// pipeline cache (PR 1) de-duplicated the *front end*; this cache does the
+// same for the *back end*, in the compile-once/specialize-per-run tradition
+// of HotSpot-style tiered VMs.
+//
+// What makes sharing sound is that tier-1 closures are pure functions of
+// (module, JIT configuration): operands resolve to module indices at compile
+// time and to engine objects at run time (GlobalAt), and all per-run
+// mutable state — argument buffers, inline-cache entries — lives in the
+// engine's call-site table, addressed by compile-time site IDs (Engine.Site).
+// A cached closure therefore executes identically on any engine running the
+// same module. OSR entries are deliberately *not* cached: they lower against
+// one engine's live interpreter frame and consult its speculation blacklist.
+//
+// Counter parity: each compilation records its counter delta (unitMeta)
+// next to the closure, and a cache hit replays the delta into the running
+// compiler — so JITReport (Compiled, InstrsTotal, Inlined, Bailed) is
+// byte-identical whether the code was compiled in this run or reused, which
+// the warm-vs-cold parity suite pins. Bailed compilations are cached as nil
+// closures (negative caching): a warm run re-bails instantly with the same
+// recorded reason.
+package jit
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// siteAlloc hands out dense call-site IDs for one compilation domain (one
+// cache unit, or one uncached compiler). It has its own lock because a
+// unit's allocator is shared by every compiler filling that unit.
+type siteAlloc struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (a *siteAlloc) alloc() int {
+	a.mu.Lock()
+	id := a.next
+	a.next++
+	a.mu.Unlock()
+	return id
+}
+
+// Fingerprint identifies a JIT configuration whose compilations are
+// interchangeable. Two compilers with equal fingerprints produce the same
+// closures for the same module, so they may share a cache unit.
+type Fingerprint struct {
+	DisableMem2Reg bool
+	DisableTier2   bool
+	DisableInline  bool
+}
+
+func (c *Compiler) fingerprint() Fingerprint {
+	return Fingerprint{
+		DisableMem2Reg: c.DisableMem2Reg,
+		DisableTier2:   c.DisableTier2,
+		DisableInline:  c.DisableInline,
+	}
+}
+
+// cacheKey addresses one unit: the module's content hash (not its pointer —
+// re-parsed but identical sources share code) plus the config fingerprint.
+type cacheKey struct {
+	hash string
+	fp   Fingerprint
+}
+
+// modHashes memoizes the content hash per module pointer: drivers run the
+// same shared immutable *ir.Module many times, and hashing the printed IR
+// is itself a cost worth paying once. (Keying by pointer is safe because
+// modules handed to engines are immutable by contract.) The memo is
+// epoch-cleared at a size bound rather than grown forever: a fuzzing
+// campaign hashes one fresh module per generated program, and a memo that
+// pins every module it ever saw would leak the whole campaign's IR. The
+// bound comfortably covers the corpus × opt-config working set, so steady
+// drivers never re-hash; a clear costs one re-hash per live module.
+const modHashBound = 512
+
+var (
+	modHashMu sync.Mutex
+	modHashes = make(map[*ir.Module]string, 64)
+)
+
+func moduleHash(m *ir.Module) string {
+	// Pipeline-built modules carry a content address already; hashing the
+	// printed IR per generated program was a measurable share of a fuzzing
+	// campaign's whole budget. The "cid:"/"sha:" prefixes keep the two hash
+	// domains from ever colliding.
+	if m.ContentID != "" {
+		return "cid:" + m.ContentID
+	}
+	modHashMu.Lock()
+	h, ok := modHashes[m]
+	modHashMu.Unlock()
+	if ok {
+		return h
+	}
+	sum := sha256.Sum256([]byte(ir.Print(m)))
+	h = "sha:" + hex.EncodeToString(sum[:])
+	modHashMu.Lock()
+	if len(modHashes) >= modHashBound {
+		modHashes = make(map[*ir.Module]string, 64)
+	}
+	modHashes[m] = h
+	modHashMu.Unlock()
+	return h
+}
+
+// funcEntry is one function's compiled artifact inside a unit. ready closes
+// when fn/meta are published; concurrent compilers of the same function
+// coalesce on it (singleflight), so each function lowers at most once per
+// unit lifetime.
+type funcEntry struct {
+	ready chan struct{}
+	fn    core.CompiledFunc // nil: the compilation bailed (negative cache)
+	meta  unitMeta
+}
+
+// unit is every compiled function of one (module, fingerprint) pair, plus
+// the site-ID allocator those functions' closures were compiled against.
+// Units are immutable-once-published: entries are only ever added, and a
+// published closure is never replaced — a cache hit cannot observe mutation.
+type unit struct {
+	key   cacheKey
+	sites *siteAlloc
+
+	mu    sync.Mutex
+	funcs map[int]*funcEntry
+
+	elem *list.Element // position in CodeCache.lru
+}
+
+// CodeCache is a size-bounded LRU of compiled-code units shared by every
+// engine in the process. Eviction is by unit (a module/config pair), not by
+// function: engines still holding closures from an evicted unit keep
+// running them — eviction only unpins the unit for the collector once those
+// engines retire.
+type CodeCache struct {
+	mu    sync.Mutex
+	cap   int
+	units map[cacheKey]*unit
+	lru   *list.List // front = most recently used; element values are *unit
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewCodeCache returns a cache bounded to capUnits module/config units
+// (0 means a default sized for the matrix drivers).
+func NewCodeCache(capUnits int) *CodeCache {
+	if capUnits <= 0 {
+		capUnits = 256
+	}
+	return &CodeCache{cap: capUnits, units: make(map[cacheKey]*unit), lru: list.New()}
+}
+
+// unitFor returns (creating if needed) the unit for m under fp, updating
+// recency and evicting over-capacity units.
+func (cc *CodeCache) unitFor(m *ir.Module, fp Fingerprint) *unit {
+	key := cacheKey{hash: moduleHash(m), fp: fp}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if u, ok := cc.units[key]; ok {
+		cc.lru.MoveToFront(u.elem)
+		return u
+	}
+	u := &unit{key: key, sites: &siteAlloc{}, funcs: make(map[int]*funcEntry)}
+	u.elem = cc.lru.PushFront(u)
+	cc.units[key] = u
+	for cc.lru.Len() > cc.cap {
+		ev := cc.lru.Remove(cc.lru.Back()).(*unit)
+		delete(cc.units, ev.key)
+		cc.evictions.Add(1)
+	}
+	return u
+}
+
+// compile serves one Compile request through the cache: a hit replays the
+// recorded counter delta and returns the shared closure; a miss compiles
+// under the unit's site allocator, publishes, and wakes coalesced waiters.
+func (cc *CodeCache) compile(c *Compiler, e *core.Engine, fidx int) core.CompiledFunc {
+	u := cc.unitFor(e.Module(), c.fingerprint())
+	u.mu.Lock()
+	if fe, ok := u.funcs[fidx]; ok {
+		u.mu.Unlock()
+		<-fe.ready
+		cc.hits.Add(1)
+		c.mu.Lock()
+		c.apply(fe.meta)
+		c.mu.Unlock()
+		return fe.fn
+	}
+	fe := &funcEntry{ready: make(chan struct{})}
+	u.funcs[fidx] = fe
+	u.mu.Unlock()
+	cc.misses.Add(1)
+
+	// Publish even if the compile panics (the facade contains the panic as
+	// an InternalError): waiters then see a nil closure and stay in the
+	// interpreter instead of blocking forever.
+	published := false
+	defer func() {
+		if !published {
+			close(fe.ready)
+		}
+	}()
+
+	c.mu.Lock()
+	c.sites = u.sites
+	fn, meta := c.compileFn(e, fidx)
+	c.apply(meta)
+	c.mu.Unlock()
+
+	fe.fn, fe.meta = fn, meta
+	published = true
+	close(fe.ready)
+	return fn
+}
+
+// ReleaseModule evicts every unit compiled from m, across all config
+// fingerprints, and drops m's hash memo. Drivers that retire a module for
+// good call it so a churn workload — a fuzzing campaign compiles one fresh
+// module per generated program and never revisits it — does not fill the LRU
+// with dead code that only GC scan time pays for. Engines still holding
+// closures from a released unit keep running them; release is an eviction,
+// not an invalidation.
+func (cc *CodeCache) ReleaseModule(m *ir.Module) {
+	var h string
+	if m.ContentID != "" {
+		h = "cid:" + m.ContentID
+	} else {
+		// Consult (and drop) the hash memo rather than re-hashing: every
+		// module that ever entered the cache was memoized by unitFor, so a
+		// miss means the module is not cached and release is a no-op — which
+		// keeps releasing cheap for NoCodeCache runs, where hashing printed
+		// IR would be pure overhead. (If an epoch clear raced in between,
+		// the unit just waits for ordinary LRU eviction instead.)
+		modHashMu.Lock()
+		memo, ok := modHashes[m]
+		if ok {
+			delete(modHashes, m)
+		}
+		modHashMu.Unlock()
+		if !ok {
+			return
+		}
+		h = memo
+	}
+	cc.mu.Lock()
+	for key, u := range cc.units {
+		if key.hash == h {
+			cc.lru.Remove(u.elem)
+			delete(cc.units, key)
+			cc.evictions.Add(1)
+		}
+	}
+	cc.mu.Unlock()
+}
+
+// CodeCacheStats is a point-in-time snapshot of cache effectiveness.
+type CodeCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Units     int    `json:"units"`
+	Funcs     int    `json:"funcs"`
+}
+
+// Stats returns hit/miss/eviction counters and the current population.
+func (cc *CodeCache) Stats() CodeCacheStats {
+	cc.mu.Lock()
+	units := len(cc.units)
+	funcs := 0
+	for _, u := range cc.units {
+		u.mu.Lock()
+		funcs += len(u.funcs)
+		u.mu.Unlock()
+	}
+	cc.mu.Unlock()
+	return CodeCacheStats{
+		Hits:      cc.hits.Load(),
+		Misses:    cc.misses.Load(),
+		Evictions: cc.evictions.Load(),
+		Units:     units,
+		Funcs:     funcs,
+	}
+}
+
+// Reset empties the cache and zeroes its counters (cold-start benchmarking).
+func (cc *CodeCache) Reset() {
+	cc.mu.Lock()
+	cc.units = make(map[cacheKey]*unit)
+	cc.lru = list.New()
+	cc.hits.Store(0)
+	cc.misses.Store(0)
+	cc.evictions.Store(0)
+	cc.mu.Unlock()
+}

@@ -21,13 +21,10 @@ import (
 )
 
 // icCapacity bounds the polymorphic inline cache before a call site goes
-// megamorphic and falls back to generic dispatch.
+// megamorphic and falls back to generic dispatch. Entries are core.ICEntry
+// values in the engine's per-site table: key is Pointer.Fn (function index
+// + 1, never 0), idx the validated module function index.
 const icCapacity = 4
-
-type icEntry struct {
-	key int // Pointer.Fn (function index + 1); never 0
-	idx int // validated module function index
-}
 
 // compileCall lowers a call instruction. Direct calls to small leaf
 // functions are inlined; other direct calls pre-resolve the callee and —
@@ -97,12 +94,15 @@ func (c *Compiler) compileCall(e *core.Engine, in *ir.Instr, fname string) (step
 		}
 		callee := e.Module().Funcs[idx]
 		if !c.DisableTier2 && len(varTypes) == 0 && !callee.IsDecl && !e.IsBuiltin(idx) {
-			// Persistent argument buffer. Engines are single-threaded and the
-			// engine consumes args before transferring control, so one buffer
-			// per call site is safe even under recursion through this site.
-			buf := make([]core.Value, nFixed)
+			// Persistent argument buffer, held in the *engine's* call-site
+			// table rather than captured here: the closure may be shared by
+			// the code cache across many engines, so its only state is the
+			// compile-time site ID. Engines are single-threaded and consume
+			// args before transferring control, so one buffer per site per
+			// engine is safe even under recursion through this site.
+			site := c.siteID()
 			return func(e *core.Engine, fr *core.Frame) error {
-				return invoke(e, fr, idx, buf)
+				return invoke(e, fr, idx, e.Site(site).ArgBuf(nFixed))
 			}, nil
 		}
 		return func(e *core.Engine, fr *core.Frame) error {
@@ -142,22 +142,26 @@ func (c *Compiler) compileCall(e *core.Engine, in *ir.Instr, fname string) (step
 	// Inline cache. The guards run in the interpreter's order: a non-function
 	// pointer reports exactly the tier-0 diagnostic (NULL call, call through
 	// data pointer, unknown index) before any cache logic touches it. Cache
-	// state is per call site per engine — compiled closures are never shared
-	// across engines, and an engine is single-threaded.
-	var cache []icEntry
-	mega := false
+	// state lives in the *engine's* per-site table, keyed by a compile-time
+	// site ID: the closure itself is immutable, so the code cache can share
+	// it across engines, and a pooled engine restarts with a cold cache. An
+	// engine is single-threaded; the site pointer is re-fetched on every
+	// execution and never held across invoke (the table may grow while guest
+	// code runs, invalidating old pointers).
+	site := c.siteID()
 	return func(e *core.Engine, fr *core.Frame) error {
 		p := getCallee(e, fr).P
 		if p.Fn != 0 { // IsFunc
-			if !mega {
-				for i := range cache {
-					if cache[i].key == p.Fn {
+			s := e.Site(site)
+			if !s.Mega {
+				for i := range s.IC {
+					if s.IC[i].Key == p.Fn {
 						if i != 0 {
 							// Move-to-front: a mostly-monomorphic site hits on
 							// the first compare.
-							cache[0], cache[i] = cache[i], cache[0]
+							s.IC[0], s.IC[i] = s.IC[i], s.IC[0]
 						}
-						return invoke(e, fr, cache[0].idx, make([]core.Value, nFixed))
+						return invoke(e, fr, s.IC[0].Idx, make([]core.Value, nFixed))
 					}
 				}
 			}
@@ -168,12 +172,12 @@ func (c *Compiler) compileCall(e *core.Engine, in *ir.Instr, fname string) (step
 					Guest: e.CaptureStack(fname, line),
 				}
 			}
-			if !mega {
-				if len(cache) < icCapacity {
-					cache = append(cache, icEntry{key: p.Fn, idx: idx})
+			if !s.Mega {
+				if len(s.IC) < icCapacity {
+					s.IC = append(s.IC, core.ICEntry{Key: p.Fn, Idx: idx})
 				} else {
-					mega = true // give up: generic dispatch from here on
-					cache = nil
+					s.Mega = true // give up: generic dispatch from here on
+					s.IC = nil
 				}
 			}
 			return invoke(e, fr, idx, make([]core.Value, nFixed))
@@ -274,7 +278,7 @@ func (c *Compiler) tryInline(e *core.Engine, in *ir.Instr, callerName string) (s
 		return nil, false // unlowerable callee: generic call instead
 	}
 	c.inlinedInstr += n
-	c.Inlined++
+	c.inlinedSites++
 
 	argGetters := make([]getter, len(in.Args))
 	for i, a := range in.Args {

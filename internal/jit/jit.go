@@ -68,13 +68,28 @@ type Compiler struct {
 	// DisableInline turns off just the inliner (ablation row).
 	DisableInline bool
 
+	// Cache, when set, makes Compile consult the process-wide executable-code
+	// cache before lowering: a hit attaches the shared immutable closure and
+	// replays the compile's recorded counter deltas, so JITReport is
+	// byte-identical whether the code was compiled here or reused. Set it
+	// before the first Compile and never change it.
+	Cache *CodeCache
+
 	// mu serializes compilations (the engine may run them on background
 	// workers) and guards the counters above against concurrent Stats reads.
 	mu sync.Mutex
 
+	// sites allocates per-call-site IDs for the engine-resident state behind
+	// compiled closures (argument buffers, inline caches). When compiling
+	// into a cache unit this is the unit's allocator, so every engine running
+	// the shared code addresses the same dense ID space; uncached compilers
+	// get a private one lazily.
+	sites *siteAlloc
+
 	// per-Compile state
 	nextReg      int  // first free register (inline windows grow this)
 	inlinedInstr int  // callee instructions inlined so far
+	inlinedSites int  // call sites inlined by this compilation (meta delta)
 	osrMode      bool // lowering an OSR entry: frame-compatible, no inlining
 }
 
@@ -139,11 +154,56 @@ type block struct {
 	refund []int64
 }
 
+// unitMeta is the counter delta one compilation produces, recorded alongside
+// the closure in the code cache so a cache hit replays exactly the JITReport
+// a cold compile would have produced (including bails and inlined sites).
+type unitMeta struct {
+	instrs  int
+	inlined int
+	bailed  bool
+	bailMsg string
+}
+
+// apply commits one compilation's counter delta. Callers hold c.mu.
+func (c *Compiler) apply(m unitMeta) {
+	c.Inlined += m.inlined
+	if m.bailed {
+		c.Bailed++
+		if len(c.BailReasons) < maxBailReasons {
+			c.BailReasons = append(c.BailReasons, m.bailMsg)
+		}
+		return
+	}
+	c.Compiled++
+	c.InstrsTotal += m.instrs
+}
+
+// siteID allocates the next per-call-site state ID for the current compile.
+func (c *Compiler) siteID() int {
+	if c.sites == nil {
+		c.sites = &siteAlloc{}
+	}
+	return c.sites.alloc()
+}
+
 // Compile lowers the function at fidx to closures. A nil result means the
-// function stays in the interpreter (and is counted in Bailed).
+// function stays in the interpreter (and is counted in Bailed). With a
+// Cache attached, the compile is served from (or populates) the shared
+// executable-code cache.
 func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
+	if c.Cache != nil {
+		return c.Cache.compile(c, e, fidx)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	fn, meta := c.compileFn(e, fidx)
+	c.apply(meta)
+	return fn
+}
+
+// compileFn performs one tier-1 compilation and returns the closure plus its
+// counter delta, without touching the public counters. Callers hold c.mu.
+func (c *Compiler) compileFn(e *core.Engine, fidx int) (core.CompiledFunc, unitMeta) {
 	orig := e.Module().Funcs[fidx]
 	f := cloneForJIT(orig)
 	w := opt.NewWeights(f)
@@ -160,19 +220,22 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 	}
 	c.nextReg = f.NumRegs
 	c.inlinedInstr = 0
+	c.inlinedSites = 0
 	c.osrMode = false
 
 	blocks, instrs, err := c.lowerFunc(e, f, w)
 	if err != nil {
-		c.bail(orig.Name, err)
-		return nil // bail out: stay in the interpreter
+		// Bail out: stay in the interpreter. The delta still carries any
+		// sites inlined before the failing block, matching what the counters
+		// historically recorded on a bail.
+		return nil, unitMeta{inlined: c.inlinedSites, bailed: true,
+			bailMsg: fmt.Sprintf("%s: %v", orig.Name, err)}
 	}
-	// Commit the stats only on success: a compilation that bails after
-	// lowering a few blocks must not inflate InstrsTotal (it produced no
-	// compiled code).
-	c.Compiled++
-	c.InstrsTotal += instrs
+	// The size stats are committed only on success: a compilation that bails
+	// after lowering a few blocks must not inflate InstrsTotal (it produced
+	// no compiled code).
 	numRegs := c.nextReg
+	meta := unitMeta{instrs: instrs, inlined: c.inlinedSites}
 	return func(e *core.Engine, fr *core.Frame) (core.Value, error) {
 		// The clone may have added registers (promoted scalars, hoisted
 		// temporaries, inline windows).
@@ -206,7 +269,7 @@ func (c *Compiler) Compile(e *core.Engine, fidx int) core.CompiledFunc {
 			}
 			blk = next
 		}
-	}
+	}, meta
 }
 
 // lowerFunc lowers every block of f (whose weight account is w) and returns
@@ -374,12 +437,17 @@ func (c *Compiler) compileOperand(e *core.Engine, o ir.Operand) (getter, error) 
 		v := core.FloatValue(o.Flt)
 		return func(e *core.Engine, fr *core.Frame) core.Value { return v }, nil
 	case ir.OperGlobal:
-		obj := e.Global(o.Sym)
-		if obj == nil {
+		// Resolve to the module global *index* at compile time and to the
+		// engine's object at run time: the compiled closure depends only on
+		// the module, so the executable-code cache can share it across every
+		// engine (and every pooled reset) running this module.
+		gi := e.Module().GlobalIndex(o.Sym)
+		if gi < 0 {
 			return nil, fmt.Errorf("jit: unknown global %s", o.Sym)
 		}
-		v := core.PtrValue(core.Pointer{Obj: obj})
-		return func(e *core.Engine, fr *core.Frame) core.Value { return v }, nil
+		return func(e *core.Engine, fr *core.Frame) core.Value {
+			return core.PtrValue(core.Pointer{Obj: e.GlobalAt(gi)})
+		}, nil
 	case ir.OperFunc:
 		idx := e.Module().FuncIndex(o.Sym)
 		if idx < 0 {

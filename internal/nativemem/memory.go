@@ -25,10 +25,21 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("segmentation fault: invalid %s at address 0x%x", kind, f.Addr)
 }
 
-// Memory is a sparse paged address space.
+// Memory is a sparse paged address space with demand-paged backing: Map
+// records that a page exists (a nil entry) but the 4 KiB backing store is
+// materialized only on the first write, exactly as a kernel would serve an
+// anonymous mapping from the shared zero page until a write faults. Reads
+// of an untouched mapped page come from one immutable zero page, so the
+// observable bytes are identical to eager zero-filling while mapping an
+// 8 MiB stack costs 2048 map inserts instead of 8 MiB of allocate-and-zero
+// per machine — the dominant construction cost of the native-model engines.
 type Memory struct {
 	pages map[uint64][]byte
 }
+
+// zeroPage backs reads of mapped-but-never-written pages. It must never be
+// handed out on a write path.
+var zeroPage [PageSize]byte
 
 // New returns an empty address space (everything unmapped; address 0 traps).
 func New() *Memory {
@@ -36,13 +47,14 @@ func New() *Memory {
 }
 
 // Map makes [addr, addr+size) accessible, zero-filled. Partial pages round
-// out to full pages, as mmap would.
+// out to full pages, as mmap would. Backing is allocated lazily on first
+// write.
 func (m *Memory) Map(addr, size uint64) {
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
 	for p := first; p <= last; p++ {
 		if _, ok := m.pages[p]; !ok {
-			m.pages[p] = make([]byte, PageSize)
+			m.pages[p] = nil
 		}
 	}
 }
@@ -71,15 +83,39 @@ func (m *Memory) Mapped(addr uint64, size int64) bool {
 	return true
 }
 
-// page returns the page backing addr, or nil when unmapped.
-func (m *Memory) page(addr uint64) []byte {
-	return m.pages[addr/PageSize]
+// rdPage returns a readable view of the page backing addr: the real backing
+// when the page has been written, the shared zero page when it is mapped but
+// untouched, nil when unmapped.
+func (m *Memory) rdPage(addr uint64) []byte {
+	pg, ok := m.pages[addr/PageSize]
+	if !ok {
+		return nil
+	}
+	if pg == nil {
+		return zeroPage[:]
+	}
+	return pg
+}
+
+// wrPage returns the writable backing of the page at addr, materializing it
+// on first write; nil when unmapped.
+func (m *Memory) wrPage(addr uint64) []byte {
+	p := addr / PageSize
+	pg, ok := m.pages[p]
+	if !ok {
+		return nil
+	}
+	if pg == nil {
+		pg = make([]byte, PageSize)
+		m.pages[p] = pg
+	}
+	return pg
 }
 
 // Load reads size bytes (1, 2, 4, or 8) little-endian at addr. The value is
 // returned zero-extended; callers sign-extend per their type.
 func (m *Memory) Load(addr uint64, size int64) (uint64, *Fault) {
-	pg := m.page(addr)
+	pg := m.rdPage(addr)
 	if pg == nil {
 		return 0, &Fault{Addr: addr}
 	}
@@ -105,7 +141,7 @@ func (m *Memory) Load(addr uint64, size int64) (uint64, *Fault) {
 
 // Store writes size bytes little-endian at addr.
 func (m *Memory) Store(addr uint64, size int64, v uint64) *Fault {
-	pg := m.page(addr)
+	pg := m.wrPage(addr)
 	if pg == nil {
 		return &Fault{Addr: addr, Write: true}
 	}
@@ -126,7 +162,7 @@ func (m *Memory) Store(addr uint64, size int64, v uint64) *Fault {
 
 // LoadByte reads one byte.
 func (m *Memory) LoadByte(addr uint64) (byte, *Fault) {
-	pg := m.page(addr)
+	pg := m.rdPage(addr)
 	if pg == nil {
 		return 0, &Fault{Addr: addr}
 	}
@@ -135,7 +171,7 @@ func (m *Memory) LoadByte(addr uint64) (byte, *Fault) {
 
 // StoreByte writes one byte.
 func (m *Memory) StoreByte(addr uint64, b byte) *Fault {
-	pg := m.page(addr)
+	pg := m.wrPage(addr)
 	if pg == nil {
 		return &Fault{Addr: addr, Write: true}
 	}

@@ -340,6 +340,13 @@ func (c *Cache) frontendModule(req Request, hash string) (*entry, error) {
 		bare := req
 		bare.Bare = true
 		mod, stages, err := CompileUncached(bare)
+		if err == nil {
+			// Content-address the unit before publication (full input-set
+			// hash, not the display-truncated Key.String), so downstream
+			// caches — the executable-code cache keys tier-1 units by it —
+			// never pay a printed-IR rehash per module.
+			mod.ContentID = fmt.Sprintf("%s/%s/O%d", hash, fk.Flavor, fk.OptLevel)
+		}
 		e.fill(mod, stages, err)
 	}
 	<-e.ready
@@ -406,6 +413,41 @@ func (c *Cache) Stats() CacheStats {
 	n := len(c.modules) + len(c.frontend)
 	c.mu.Unlock()
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Release drops every published entry whose module is mod. Drivers that
+// retire a module for good (the fuzzing-campaign judge) call it so one-shot
+// programs do not accumulate in the cache; a subsequent Compile of the same
+// source simply misses and recompiles. Entries still being filled are left
+// alone — releasing mid-flight would race the fill, and the filling
+// goroutine's waiters need the entry to resolve.
+func (c *Cache) Release(mod *ir.Module) {
+	if mod == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.modules {
+		select {
+		case <-e.ready:
+			if e.mod != mod {
+				continue
+			}
+			delete(c.modules, k)
+			// The front-end entry behind a native-flavor module holds a
+			// different *ir.Module (opt levels build from clones), so it is
+			// found by key, not by pointer.
+			fk := Key{Hash: k.Hash, Flavor: k.Flavor, OptLevel: frontendLevel}
+			if fe, ok := c.frontend[fk]; ok {
+				select {
+				case <-fe.ready:
+					delete(c.frontend, fk)
+				default:
+				}
+			}
+		default:
+		}
+	}
 }
 
 // Reset drops every entry and zeroes the counters (tests and cold-start
